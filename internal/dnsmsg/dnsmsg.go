@@ -1,0 +1,498 @@
+// Package dnsmsg implements the DNS wire format (RFC 1035) for the record
+// types the study observes: A, AAAA (RFC 3596), CNAME, SOA, PTR, TXT, and
+// the HTTPS/SVCB types (RFC 9460) that Apple and Android devices query.
+// Name compression is honored on decode; encoding is uncompressed.
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// The RR types the testbed uses.
+const (
+	TypeA     Type = 1
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeSRV   Type = 33
+	TypeSVCB  Type = 64
+	TypeHTTPS Type = 65
+)
+
+// String names the RR type.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeSRV:
+		return "SRV"
+	case TypeSVCB:
+		return "SVCB"
+	case TypeHTTPS:
+		return "HTTPS"
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes used by the simulated resolver.
+const (
+	RCodeSuccess  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeRefused  RCode = 5
+)
+
+// String names the response code as dig does.
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// ClassIN is the only class the testbed uses.
+const ClassIN uint16 = 1
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name string
+	Type Type
+}
+
+// Record is a resource record. Exactly one of the typed payload fields is
+// meaningful, selected by Type.
+type Record struct {
+	Name string
+	Type Type
+	TTL  uint32
+
+	// Addr holds the address for A and AAAA records.
+	Addr netip.Addr
+	// Target holds the name for CNAME/PTR, the MNAME for SOA, and the
+	// TargetName for SVCB/HTTPS.
+	Target string
+	// Text holds TXT strings.
+	Text []string
+	// Priority holds the SvcPriority for SVCB/HTTPS and the priority for
+	// SRV records.
+	Priority uint16
+	// Port holds the SRV service port.
+	Port uint16
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	Authoritative      bool
+	RCode              RCode
+	Questions          []Question
+	Answers            []Record
+	Authority          []Record
+	Additional         []Record
+}
+
+// errors returned by the decoder.
+var (
+	ErrTruncatedMsg = errors.New("dnsmsg: truncated message")
+	ErrBadName      = errors.New("dnsmsg: malformed name")
+)
+
+// NewQuery builds a standard recursive query for one question.
+func NewQuery(id uint16, name string, qtype Type) *Message {
+	return &Message{ID: id, RecursionDesired: true, Questions: []Question{{Name: name, Type: qtype}}}
+}
+
+// Reply builds a response skeleton mirroring the query's ID and question.
+func (m *Message) Reply(rcode RCode) *Message {
+	r := &Message{
+		ID: m.ID, Response: true, RecursionDesired: m.RecursionDesired,
+		RecursionAvailable: true, RCode: rcode,
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// appendNameCompressed encodes a domain name, emitting a compression
+// pointer for any suffix already present in the message (tracked in
+// offsets). Only owner names use compression; rdata names stay literal,
+// which keeps types whose rdata must not be compressed (SRV, SVCB) safe.
+func appendNameCompressed(b []byte, name string, offsets map[string]int) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return append(b, 0), nil
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := offsets[suffix]; ok && off < 0x4000 {
+			return append(b, 0xc0|byte(off>>8), byte(off)), nil
+		}
+		if len(b) < 0x4000 {
+			offsets[suffix] = len(b)
+		}
+		label := labels[i]
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}
+
+// appendName encodes a domain name without compression.
+func appendName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// parseName decodes a possibly compressed name starting at off, returning
+// the name and the offset just past its in-place encoding.
+func parseName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	next := 0
+	for hops := 0; ; hops++ {
+		if hops > 127 {
+			return "", 0, fmt.Errorf("%w: pointer loop", ErrBadName)
+		}
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMsg
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				next = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			return name, next, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedMsg
+			}
+			ptr := (l&0x3f)<<8 | int(msg[off+1])
+			if !jumped {
+				next = off + 2
+				jumped = true
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("%w: forward pointer", ErrBadName)
+			}
+			off = ptr
+		case l&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type", ErrBadName)
+		default:
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedMsg
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			off += 1 + l
+		}
+	}
+}
+
+// Pack serializes the message.
+func (m *Message) Pack() ([]byte, error) {
+	b := make([]byte, 12, 128)
+	binary.BigEndian.PutUint16(b[0:2], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode) & 0x0f
+	binary.BigEndian.PutUint16(b[2:4], flags)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(b[6:8], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(b[8:10], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(b[10:12], uint16(len(m.Additional)))
+	var err error
+	offsets := map[string]int{}
+	for _, q := range m.Questions {
+		if b, err = appendNameCompressed(b, q.Name, offsets); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(q.Type))
+		b = binary.BigEndian.AppendUint16(b, ClassIN)
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if b, err = appendRecord(b, rr, offsets); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func appendRecord(b []byte, rr Record, offsets map[string]int) ([]byte, error) {
+	var err error
+	if b, err = appendNameCompressed(b, rr.Name, offsets); err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(rr.Type))
+	b = binary.BigEndian.AppendUint16(b, ClassIN)
+	b = binary.BigEndian.AppendUint32(b, rr.TTL)
+	var rdata []byte
+	switch rr.Type {
+	case TypeA:
+		if !rr.Addr.Is4() {
+			return nil, fmt.Errorf("dnsmsg: A record for %s needs IPv4, have %v", rr.Name, rr.Addr)
+		}
+		a4 := rr.Addr.As4()
+		rdata = a4[:]
+	case TypeAAAA:
+		if !rr.Addr.Is6() || rr.Addr.Is4In6() {
+			return nil, fmt.Errorf("dnsmsg: AAAA record for %s needs IPv6, have %v", rr.Name, rr.Addr)
+		}
+		a16 := rr.Addr.As16()
+		rdata = a16[:]
+	case TypeCNAME, TypePTR:
+		if rdata, err = appendName(nil, rr.Target); err != nil {
+			return nil, err
+		}
+	case TypeSOA:
+		// MNAME RNAME SERIAL REFRESH RETRY EXPIRE MINIMUM, with fixed
+		// administrative values; only MNAME (Target) is configurable.
+		if rdata, err = appendName(nil, rr.Target); err != nil {
+			return nil, err
+		}
+		if rdata, err = appendName(rdata, "hostmaster."+strings.TrimSuffix(rr.Target, ".")); err != nil {
+			return nil, err
+		}
+		for _, v := range []uint32{1, 7200, 900, 1209600, 86400} {
+			rdata = binary.BigEndian.AppendUint32(rdata, v)
+		}
+	case TypeTXT:
+		for _, s := range rr.Text {
+			if len(s) > 255 {
+				return nil, fmt.Errorf("dnsmsg: TXT string too long")
+			}
+			rdata = append(rdata, byte(len(s)))
+			rdata = append(rdata, s...)
+		}
+	case TypeSRV:
+		// priority, weight, port, target (RFC 2782).
+		rdata = binary.BigEndian.AppendUint16(rdata, rr.Priority)
+		rdata = binary.BigEndian.AppendUint16(rdata, 0)
+		rdata = binary.BigEndian.AppendUint16(rdata, rr.Port)
+		if rdata, err = appendName(rdata, rr.Target); err != nil {
+			return nil, err
+		}
+	case TypeSVCB, TypeHTTPS:
+		rdata = binary.BigEndian.AppendUint16(rdata, rr.Priority)
+		if rdata, err = appendName(rdata, rr.Target); err != nil {
+			return nil, err
+		}
+		if rr.Addr.Is6() && !rr.Addr.Is4In6() {
+			// SvcParam ipv6hint (key 6), one address.
+			rdata = binary.BigEndian.AppendUint16(rdata, 6)
+			rdata = binary.BigEndian.AppendUint16(rdata, 16)
+			hint := rr.Addr.As16()
+			rdata = append(rdata, hint[:]...)
+		}
+	default:
+		return nil, fmt.Errorf("dnsmsg: cannot pack type %v", rr.Type)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(rdata)))
+	return append(b, rdata...), nil
+}
+
+// Unpack parses a wire-format message.
+func Unpack(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncatedMsg
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(data[0:2])}
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&(1<<15) != 0
+	m.Authoritative = flags&(1<<10) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0x0f)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	ns := int(binary.BigEndian.Uint16(data[8:10]))
+	ar := int(binary.BigEndian.Uint16(data[10:12]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, next, err := parseName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+4 > len(data) {
+			return nil, ErrTruncatedMsg
+		}
+		m.Questions = append(m.Questions, Question{
+			Name: name,
+			Type: Type(binary.BigEndian.Uint16(data[next : next+2])),
+		})
+		off = next + 4
+	}
+	var err error
+	for _, sec := range []struct {
+		n   int
+		dst *[]Record
+	}{{an, &m.Answers}, {ns, &m.Authority}, {ar, &m.Additional}} {
+		for i := 0; i < sec.n; i++ {
+			var rr Record
+			if rr, off, err = parseRecord(data, off); err != nil {
+				return nil, err
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func parseRecord(msg []byte, off int) (Record, int, error) {
+	var rr Record
+	name, next, err := parseName(msg, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	if next+10 > len(msg) {
+		return rr, 0, ErrTruncatedMsg
+	}
+	rr.Name = name
+	rr.Type = Type(binary.BigEndian.Uint16(msg[next : next+2]))
+	rr.TTL = binary.BigEndian.Uint32(msg[next+4 : next+8])
+	rdLen := int(binary.BigEndian.Uint16(msg[next+8 : next+10]))
+	rdStart := next + 10
+	if rdStart+rdLen > len(msg) {
+		return rr, 0, ErrTruncatedMsg
+	}
+	rdata := msg[rdStart : rdStart+rdLen]
+	switch rr.Type {
+	case TypeA:
+		if rdLen != 4 {
+			return rr, 0, fmt.Errorf("dnsmsg: A rdata length %d", rdLen)
+		}
+		rr.Addr = netip.AddrFrom4([4]byte(rdata))
+	case TypeAAAA:
+		if rdLen != 16 {
+			return rr, 0, fmt.Errorf("dnsmsg: AAAA rdata length %d", rdLen)
+		}
+		rr.Addr = netip.AddrFrom16([16]byte(rdata))
+	case TypeCNAME, TypePTR, TypeSOA:
+		if rr.Target, _, err = parseName(msg, rdStart); err != nil {
+			return rr, 0, err
+		}
+	case TypeTXT:
+		for p := 0; p < len(rdata); {
+			l := int(rdata[p])
+			if p+1+l > len(rdata) {
+				return rr, 0, ErrTruncatedMsg
+			}
+			rr.Text = append(rr.Text, string(rdata[p+1:p+1+l]))
+			p += 1 + l
+		}
+	case TypeSRV:
+		if rdLen < 7 {
+			return rr, 0, ErrTruncatedMsg
+		}
+		rr.Priority = binary.BigEndian.Uint16(rdata[0:2])
+		rr.Port = binary.BigEndian.Uint16(rdata[4:6])
+		if rr.Target, _, err = parseName(msg, rdStart+6); err != nil {
+			return rr, 0, err
+		}
+	case TypeSVCB, TypeHTTPS:
+		if rdLen < 3 {
+			return rr, 0, ErrTruncatedMsg
+		}
+		rr.Priority = binary.BigEndian.Uint16(rdata[0:2])
+		var after int
+		if rr.Target, after, err = parseName(msg, rdStart+2); err != nil {
+			return rr, 0, err
+		}
+		// SvcParams: pick out an ipv6hint (key 6) when present.
+		params := msg[after : rdStart+rdLen]
+		for len(params) >= 4 {
+			key := binary.BigEndian.Uint16(params[0:2])
+			plen := int(binary.BigEndian.Uint16(params[2:4]))
+			if len(params) < 4+plen {
+				break
+			}
+			if key == 6 && plen >= 16 {
+				rr.Addr = netip.AddrFrom16([16]byte(params[4:20]))
+			}
+			params = params[4+plen:]
+		}
+	}
+	return rr, rdStart + rdLen, nil
+}
+
+// CanonicalName lowercases and strips the trailing dot, the normalization
+// the analysis pipeline applies before grouping by domain.
+func CanonicalName(name string) string {
+	return strings.ToLower(strings.TrimSuffix(name, "."))
+}
+
+// SLD returns the second-level domain of a canonical name (the last two
+// labels), which §5.4.3 groups tracking destinations by.
+func SLD(name string) string {
+	labels := strings.Split(CanonicalName(name), ".")
+	if len(labels) < 2 {
+		return CanonicalName(name)
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}

@@ -1,0 +1,253 @@
+// Package experiment orchestrates the paper's methodology (§4): the six
+// connectivity experiments of Table 2 over the simulated testbed, the
+// functionality tests, and the two active experiments (DNS AAAA queries
+// and port scans).
+package experiment
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"v6lab/internal/cloud"
+	"v6lab/internal/device"
+	"v6lab/internal/dnsmsg"
+	"v6lab/internal/netsim"
+	"v6lab/internal/packet"
+	"v6lab/internal/pcapio"
+	"v6lab/internal/router"
+)
+
+// Config is one connectivity experiment.
+type Config struct {
+	// ID is a short slug ("ipv6-only-stateful").
+	ID string
+	// Title is the paper's name for the run.
+	Title string
+	// Router selects the services dnsmasq would run (Table 2 columns).
+	Router router.Config
+	// Mode is the device-facing stack mode.
+	Mode device.Mode
+	// V6Seq numbers the v6-enabled experiments (for address rotation
+	// scheduling); -1 when IPv6 is off.
+	V6Seq int
+}
+
+// Configs lists the six experiments of Table 2, in execution order.
+var Configs = []Config{
+	{
+		ID: "ipv4-only", Title: "IPv4-only",
+		Router: router.Config{Name: "ipv4-only", IPv4: true},
+		Mode:   device.ModeV4Only, V6Seq: -1,
+	},
+	{
+		ID: "ipv6-only", Title: "IPv6-only",
+		Router: router.Config{Name: "ipv6-only", IPv6: true, StatelessDHCPv6: true},
+		Mode:   device.ModeV6Only, V6Seq: 0,
+	},
+	{
+		ID: "ipv6-only-rdnss", Title: "IPv6-only (RDNSS-only)",
+		Router: router.Config{Name: "ipv6-only-rdnss", IPv6: true},
+		Mode:   device.ModeV6Only, V6Seq: 1,
+	},
+	{
+		ID: "ipv6-only-stateful", Title: "IPv6-only (stateful)",
+		Router: router.Config{Name: "ipv6-only-stateful", IPv6: true, StatelessDHCPv6: true, StatefulDHCPv6: true},
+		Mode:   device.ModeV6Only, V6Seq: 2,
+	},
+	{
+		ID: "dual-stack", Title: "Dual-stack",
+		Router: router.Config{Name: "dual-stack", IPv4: true, IPv6: true, StatelessDHCPv6: true},
+		Mode:   device.ModeDual, V6Seq: 3,
+	},
+	{
+		ID: "dual-stack-stateful", Title: "Dual-stack (stateful)",
+		Router: router.Config{Name: "dual-stack-stateful", IPv4: true, IPv6: true, StatelessDHCPv6: true, StatefulDHCPv6: true},
+		Mode:   device.ModeDual, V6Seq: 4,
+	},
+}
+
+// RunResult captures everything one experiment produced.
+type RunResult struct {
+	Config Config
+	// Capture is the tcpdump-equivalent record of every LAN frame.
+	Capture *pcapio.Capture
+	// Functional maps device name to the outcome of its functionality
+	// test in this experiment.
+	Functional map[string]bool
+	// Neighbors is the router's IPv6 neighbor table at the end of the run
+	// (the port-scan address source, §4.3).
+	Neighbors map[netip.Addr]packet.MAC
+	// Leases4 maps device MACs to their DHCPv4 addresses.
+	Leases4 map[packet.MAC]netip.Addr
+	// FramesDelivered counts L2 deliveries (a capacity diagnostic).
+	FramesDelivered int
+}
+
+// AAAAResult records the active DNS experiment's verdict for one domain.
+type AAAAResult struct {
+	Name    string
+	HasAAAA bool
+	Party   cloud.Party
+}
+
+// Study holds the full reproduction state: devices, cloud, experiment
+// results, and active-measurement outputs.
+type Study struct {
+	Profiles []*device.Profile
+	Plans    []*device.Plan
+	Stacks   []*device.Stack
+	Cloud    *cloud.Cloud
+	Clock    *netsim.Clock
+
+	// MACToDevice resolves capture frames back to device identities.
+	MACToDevice map[packet.MAC]*device.Profile
+
+	Results []*RunResult
+	// ActiveDNS holds the §4.3 active AAAA query results per domain.
+	ActiveDNS map[string]AAAAResult
+	// Scan holds the port-scan findings.
+	Scan *ScanReport
+
+	// MaxFramesPerRun bounds each experiment's frame deliveries.
+	MaxFramesPerRun int
+}
+
+// NewStudy builds the testbed: 93 device stacks, their workload plans, and
+// a cloud primed with every planned destination domain.
+func NewStudy() *Study {
+	profiles := device.Registry()
+	plans := device.BuildPlans(profiles)
+	cl := cloud.New()
+	for _, pl := range plans {
+		for _, sp := range pl.Specs {
+			cl.AddDomain(sp.Name, sp.Party, sp.HasAAAA, sp.Tracker)
+		}
+	}
+	prefixes := device.NetPrefixes{GUA: router.GUAPrefix, ULA: router.ULAPrefix}
+	st := &Study{
+		Profiles:        profiles,
+		Plans:           plans,
+		Cloud:           cl,
+		Clock:           netsim.NewClock(time.Date(2024, 4, 5, 9, 0, 0, 0, time.UTC)),
+		MACToDevice:     map[packet.MAC]*device.Profile{},
+		ActiveDNS:       map[string]AAAAResult{},
+		MaxFramesPerRun: 3_000_000,
+	}
+	for i, p := range profiles {
+		s := device.NewStack(p, plans[i], i, prefixes)
+		st.Stacks = append(st.Stacks, s)
+		st.MACToDevice[s.MAC] = p
+	}
+	return st
+}
+
+// RunAll executes the six connectivity experiments, then the active DNS
+// queries and the port scans.
+func (st *Study) RunAll() error {
+	for _, cfg := range Configs {
+		res, err := st.RunExperiment(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", cfg.ID, err)
+		}
+		st.Results = append(st.Results, res)
+	}
+	st.RunActiveDNS()
+	var err error
+	st.Scan, err = st.RunPortScan()
+	return err
+}
+
+// RunExperiment performs one Table 2 run: reboot everything, configure,
+// let devices register with their clouds, run the workload, and apply the
+// functionality test.
+func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
+	net := netsim.NewNetwork(st.Clock)
+	cap := &pcapio.Capture{}
+	net.AddTap(cap)
+
+	rt := router.New(cfg.Router, st.Cloud)
+	rt.Attach(net)
+	for _, s := range st.Stacks {
+		s.Attach(net)
+		s.Reset(cfg.Mode, cfg.V6Seq)
+	}
+
+	// Phase 1: reboot. The router advertises once (dnsmasq sends periodic
+	// RAs); devices solicit as they boot.
+	rt.SendRouterAdvert()
+	for _, s := range st.Stacks {
+		s.Boot()
+	}
+	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: DAD completes; addresses are announced.
+	for _, s := range st.Stacks {
+		s.Announce()
+	}
+	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: the devices talk to their destinations.
+	for _, s := range st.Stacks {
+		s.RunWorkload(st.Cloud)
+	}
+	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: functionality test (§4.1).
+	res := &RunResult{
+		Config:          cfg,
+		Capture:         cap,
+		Functional:      map[string]bool{},
+		Neighbors:       rt.Neighbors,
+		Leases4:         map[packet.MAC]netip.Addr{},
+		FramesDelivered: net.Delivered(),
+	}
+	for _, s := range st.Stacks {
+		res.Functional[s.Prof.Name] = s.Functional()
+		if lease, ok := rt.LeaseFor(s.MAC); ok {
+			res.Leases4[s.MAC] = lease
+		}
+	}
+	st.Clock.Advance(time.Hour)
+	return res, nil
+}
+
+// RunActiveDNS performs the §4.3 active measurement: AAAA queries for
+// every destination domain observed across the experiments. (The planner's
+// spec list is exactly the set of names the captures contain.)
+func (st *Study) RunActiveDNS() {
+	for _, pl := range st.Plans {
+		for _, sp := range pl.Specs {
+			if _, done := st.ActiveDNS[sp.Name]; done {
+				continue
+			}
+			answers, rcode := st.Cloud.Resolve(sp.Name, dnsmsg.TypeAAAA)
+			st.ActiveDNS[sp.Name] = AAAAResult{
+				Name:    sp.Name,
+				HasAAAA: rcode == dnsmsg.RCodeSuccess && len(answers) > 0,
+				Party:   sp.Party,
+			}
+		}
+	}
+}
+
+// Result returns the RunResult for an experiment ID, or nil.
+func (st *Study) Result(id string) *RunResult {
+	for _, r := range st.Results {
+		if r.Config.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// DeviceByName finds a profile.
+func (st *Study) DeviceByName(name string) *device.Profile {
+	return device.Find(st.Profiles, name)
+}

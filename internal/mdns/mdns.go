@@ -1,0 +1,101 @@
+// Package mdns builds and parses the multicast DNS service announcements
+// (RFC 6762 + DNS-SD, RFC 6763) the testbed's Matter and HomeKit devices
+// exchange on the local network — the traffic behind the paper's "Local
+// Trans" feature and its observation that gateways and home-automation
+// devices keep IPv6 alive for local protocols (§5.1.4).
+package mdns
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"v6lab/internal/dnsmsg"
+)
+
+// Well-known constants.
+var (
+	// GroupV6 is the mDNS IPv6 multicast group ff02::fb.
+	GroupV6 = netip.MustParseAddr("ff02::fb")
+	// Port is the mDNS UDP port.
+	Port uint16 = 5353
+	// MatterService is the DNS-SD service Matter commissionees announce.
+	MatterService = "_matter._tcp.local"
+	// HAPService is the HomeKit Accessory Protocol service.
+	HAPService = "_hap._udp.local"
+)
+
+// Announcement describes one DNS-SD service instance.
+type Announcement struct {
+	// Instance is the service instance label (the device's identity).
+	Instance string
+	// Service is the service type (e.g. _matter._tcp.local).
+	Service string
+	// Hostname is the advertised host (instance + ".local").
+	Hostname string
+	// Port is the service port.
+	Port uint16
+	// Addr is the device's advertised IPv6 address.
+	Addr netip.Addr
+	// TXT carries the service metadata strings.
+	TXT []string
+}
+
+// Pack serializes the announcement as an unsolicited mDNS response
+// carrying the standard DNS-SD record set: PTR, SRV, TXT, and AAAA.
+func (a *Announcement) Pack() ([]byte, error) {
+	inst := a.Instance + "." + a.Service
+	host := a.Hostname
+	if host == "" {
+		host = a.Instance + ".local"
+	}
+	m := &dnsmsg.Message{
+		Response:      true,
+		Authoritative: true,
+		Answers: []dnsmsg.Record{
+			{Name: a.Service, Type: dnsmsg.TypePTR, TTL: 4500, Target: inst},
+			{Name: inst, Type: dnsmsg.TypeSRV, TTL: 120, Priority: 0, Port: a.Port, Target: host},
+			{Name: inst, Type: dnsmsg.TypeTXT, TTL: 4500, Text: a.TXT},
+		},
+	}
+	if a.Addr.Is6() && !a.Addr.Is4In6() {
+		m.Additional = append(m.Additional, dnsmsg.Record{
+			Name: host, Type: dnsmsg.TypeAAAA, TTL: 120, Addr: a.Addr,
+		})
+	}
+	return m.Pack()
+}
+
+// Parse recovers an announcement from an mDNS response payload, returning
+// an error when the payload is not a DNS-SD announcement.
+func Parse(payload []byte) (*Announcement, error) {
+	m, err := dnsmsg.Unpack(payload)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Response {
+		return nil, fmt.Errorf("mdns: not a response")
+	}
+	a := &Announcement{}
+	for _, rr := range m.Answers {
+		switch rr.Type {
+		case dnsmsg.TypePTR:
+			a.Service = rr.Name
+			a.Instance = strings.TrimSuffix(strings.TrimSuffix(rr.Target, rr.Name), ".")
+		case dnsmsg.TypeSRV:
+			a.Port = rr.Port
+			a.Hostname = rr.Target
+		case dnsmsg.TypeTXT:
+			a.TXT = rr.Text
+		}
+	}
+	for _, rr := range m.Additional {
+		if rr.Type == dnsmsg.TypeAAAA {
+			a.Addr = rr.Addr
+		}
+	}
+	if a.Service == "" {
+		return nil, fmt.Errorf("mdns: no PTR record")
+	}
+	return a, nil
+}

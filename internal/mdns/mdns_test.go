@@ -1,0 +1,74 @@
+package mdns
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+func TestAnnouncementRoundTrip(t *testing.T) {
+	a := &Announcement{
+		Instance: "meross-matter-plug",
+		Service:  MatterService,
+		Port:     5540,
+		Addr:     netip.MustParseAddr("fd42:6c61:6221::77"),
+		TXT:      []string{"VP=4874+77", "DT=266"},
+	}
+	wire, err := a.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Instance != a.Instance || got.Service != a.Service {
+		t.Errorf("identity: %q %q", got.Instance, got.Service)
+	}
+	if got.Port != 5540 || got.Addr != a.Addr {
+		t.Errorf("srv/aaaa: %d %v", got.Port, got.Addr)
+	}
+	if !reflect.DeepEqual(got.TXT, a.TXT) {
+		t.Errorf("txt: %v", got.TXT)
+	}
+	if got.Hostname != "meross-matter-plug.local" {
+		t.Errorf("hostname: %q", got.Hostname)
+	}
+}
+
+func TestAnnouncementWithoutAddress(t *testing.T) {
+	a := &Announcement{Instance: "hub", Service: HAPService, Port: 80}
+	wire, err := a.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr.IsValid() {
+		t.Error("unexpected address")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A plain DNS query is not an announcement.
+	if _, err := Parse(mustPack(t)); err == nil {
+		t.Error("query accepted")
+	}
+}
+
+func mustPack(t *testing.T) []byte {
+	t.Helper()
+	m := &Announcement{Instance: "x", Service: MatterService}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the response bit to make it a query.
+	wire[2] &^= 0x80
+	return wire
+}

@@ -1,0 +1,38 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"v6lab/internal/packet"
+)
+
+type sinkHost struct{ n int }
+
+func (h *sinkHost) HandleFrame([]byte) { h.n++ }
+
+// BenchmarkDelivery measures switch throughput with the study's port count
+// (93 devices + router + scanner).
+func BenchmarkDelivery(b *testing.B) {
+	n := NewNetwork(NewClock(time.Unix(0, 0)))
+	hosts := make([]*sinkHost, 95)
+	ports := make([]*Port, 95)
+	for i := range hosts {
+		hosts[i] = &sinkHost{}
+		ports[i] = n.Attach(hosts[i], packet.MAC{2, 0, 0, 0, byte(i >> 8), byte(i)})
+	}
+	frame, err := packet.Serialize(
+		&packet.Ethernet{Dst: ports[1].MAC, Src: ports[0].MAC, Type: packet.EtherTypeIPv4},
+		packet.Raw(make([]byte, 200)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ports[0].Send(frame)
+		if _, err := n.Run(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package netsim provides the deterministic, single-threaded layer-2
+// network the testbed runs on: a virtual switch to which hosts (the 93 IoT
+// devices, the router, the scanner) attach, a simulated clock, and capture
+// taps that record every frame the way tcpdump on the paper's router does.
+//
+// Frames are delivered synchronously from a FIFO queue; handlers may inject
+// more frames, and Run drains the queue until the network is quiescent.
+// Determinism (fixed attach order, fixed queue order, simulated time) makes
+// every study run byte-for-byte reproducible.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"v6lab/internal/packet"
+	"v6lab/internal/pcapio"
+)
+
+// Clock is the simulated wall clock shared by the whole testbed.
+type Clock struct {
+	now time.Time
+}
+
+// NewClock starts a clock at the given instant.
+func NewClock(start time.Time) *Clock { return &Clock{now: start} }
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward; negative durations are ignored.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+}
+
+// Host is anything attached to the network that can receive frames.
+type Host interface {
+	// HandleFrame processes one inbound frame. It may call Port.Send to
+	// transmit in response.
+	HandleFrame(frame []byte)
+}
+
+// Port is a host's attachment point to the network.
+type Port struct {
+	net  *Network
+	host Host
+	// MAC is the port's hardware address.
+	MAC packet.MAC
+	// Promiscuous ports receive every frame regardless of destination.
+	Promiscuous bool
+	index       int
+}
+
+// Send transmits a frame from this port onto the network.
+func (p *Port) Send(frame []byte) { p.net.enqueue(p.index, frame) }
+
+// Network is a single L2 broadcast domain with MAC-based delivery.
+type Network struct {
+	Clock *Clock
+	ports []*Port
+	taps  []*pcapio.Capture
+	queue []queued
+	// PerFrameDelay is how far the clock advances per delivered frame.
+	PerFrameDelay time.Duration
+	// delivered counts frames delivered over the network's lifetime.
+	delivered int
+}
+
+type queued struct {
+	from  int
+	frame []byte
+}
+
+// NewNetwork creates an empty network on the given clock.
+func NewNetwork(clock *Clock) *Network {
+	return &Network{Clock: clock, PerFrameDelay: 200 * time.Microsecond}
+}
+
+// Attach connects a host with the given MAC and returns its port.
+func (n *Network) Attach(h Host, mac packet.MAC) *Port {
+	p := &Port{net: n, host: h, MAC: mac, index: len(n.ports)}
+	n.ports = append(n.ports, p)
+	return p
+}
+
+// AddTap registers a capture sink that records every frame on the wire.
+func (n *Network) AddTap(c *pcapio.Capture) { n.taps = append(n.taps, c) }
+
+// Delivered reports the total number of frames delivered so far.
+func (n *Network) Delivered() int { return n.delivered }
+
+func (n *Network) enqueue(from int, frame []byte) {
+	// Copy: senders reuse their serialization buffers.
+	n.queue = append(n.queue, queued{from: from, frame: append([]byte(nil), frame...)})
+}
+
+// Run delivers queued frames (and any frames handlers inject) until the
+// network is quiescent or maxFrames deliveries have occurred. It returns
+// the number of frames delivered and an error if the budget was exhausted,
+// which in practice means a forwarding loop.
+func (n *Network) Run(maxFrames int) (int, error) {
+	count := 0
+	for len(n.queue) > 0 {
+		if count >= maxFrames {
+			return count, fmt.Errorf("netsim: frame budget %d exhausted (forwarding loop?)", maxFrames)
+		}
+		q := n.queue[0]
+		n.queue = n.queue[1:]
+		count++
+		n.delivered++
+		n.Clock.Advance(n.PerFrameDelay)
+		for _, tap := range n.taps {
+			tap.Add(n.Clock.Now(), q.frame)
+		}
+		dst := frameDst(q.frame)
+		for _, p := range n.ports {
+			if p.index == q.from {
+				continue
+			}
+			if p.Promiscuous || dst == p.MAC || dst.IsMulticast() || dst == packet.BroadcastMAC {
+				p.host.HandleFrame(q.frame)
+			}
+		}
+	}
+	return count, nil
+}
+
+func frameDst(frame []byte) packet.MAC {
+	var dst packet.MAC
+	if len(frame) >= 6 {
+		copy(dst[:], frame[:6])
+	}
+	return dst
+}

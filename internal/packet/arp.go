@@ -1,0 +1,66 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an Ethernet/IPv4 ARP packet (RFC 826).
+type ARP struct {
+	Op              uint16
+	SenderMAC       MAC
+	SenderIP        netip.Addr
+	TargetMAC       MAC
+	TargetIP        netip.Addr
+	trailingPayload []byte
+}
+
+const arpLen = 28
+
+// LayerType implements Layer.
+func (*ARP) LayerType() LayerType { return LayerTypeARP }
+
+// DecodeFromBytes implements DecodingLayer.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < arpLen {
+		return ErrTruncated
+	}
+	// Hardware type 1 (Ethernet), protocol 0x0800, sizes 6/4 are assumed;
+	// anything else is still decoded structurally.
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(data[14:18]))
+	copy(a.TargetMAC[:], data[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(data[24:28]))
+	a.trailingPayload = data[arpLen:]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (*ARP) NextLayerType() LayerType { return LayerTypeZero }
+
+// Payload implements DecodingLayer.
+func (a *ARP) Payload() []byte { return a.trailingPayload }
+
+// SerializeTo implements SerializableLayer.
+func (a *ARP) SerializeTo(b *Buffer) error {
+	hdr := b.Prepend(arpLen)
+	binary.BigEndian.PutUint16(hdr[0:2], 1) // Ethernet
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(EtherTypeIPv4))
+	hdr[4] = 6
+	hdr[5] = 4
+	binary.BigEndian.PutUint16(hdr[6:8], a.Op)
+	copy(hdr[8:14], a.SenderMAC[:])
+	s := a.SenderIP.As4()
+	copy(hdr[14:18], s[:])
+	copy(hdr[18:24], a.TargetMAC[:])
+	t := a.TargetIP.As4()
+	copy(hdr[24:28], t[:])
+	return nil
+}

@@ -1,0 +1,107 @@
+package packet
+
+// Buffer is a prepend-oriented serialization buffer, in the style of
+// gopacket's SerializeBuffer: outer layers are written in front of the
+// bytes already present, so a packet is built by serializing its layers in
+// reverse order (payload first, Ethernet last). SerializeLayers does the
+// reversal for callers.
+type Buffer struct {
+	data  []byte // window [start:] of buf holds the current content
+	start int
+}
+
+// NewBuffer returns a Buffer with room to prepend about headroom bytes
+// before reallocating.
+func NewBuffer(headroom int) *Buffer {
+	if headroom < 0 {
+		headroom = 0
+	}
+	return &Buffer{data: make([]byte, headroom), start: headroom}
+}
+
+// Bytes returns the current contents. The slice is invalidated by the next
+// Prepend/Append/Clear.
+func (b *Buffer) Bytes() []byte { return b.data[b.start:] }
+
+// Len returns the number of content bytes.
+func (b *Buffer) Len() int { return len(b.data) - b.start }
+
+// Clear empties the buffer while retaining capacity.
+func (b *Buffer) Clear() {
+	half := cap(b.data) / 2
+	b.data = b.data[:half]
+	b.start = half
+}
+
+// Prepend grows the content by n bytes at the front and returns the new
+// zeroed region.
+func (b *Buffer) Prepend(n int) []byte {
+	if n > b.start {
+		headroom := n + 64
+		grown := make([]byte, headroom+b.Len())
+		copy(grown[headroom:], b.data[b.start:])
+		b.data = grown
+		b.start = headroom
+	}
+	b.start -= n
+	region := b.data[b.start : b.start+n]
+	for i := range region {
+		region[i] = 0
+	}
+	return region
+}
+
+// Append grows the content by n bytes at the back and returns the new
+// zeroed region.
+func (b *Buffer) Append(n int) []byte {
+	old := len(b.data)
+	for i := 0; i < n; i++ {
+		b.data = append(b.data, 0)
+	}
+	return b.data[old:]
+}
+
+// SerializableLayer is a Layer that can write itself in front of a Buffer's
+// current contents, treating those contents as its payload.
+type SerializableLayer interface {
+	Layer
+	// SerializeTo prepends the layer's wire image onto b. Implementations
+	// that carry checksums over their payload compute them here.
+	SerializeTo(b *Buffer) error
+}
+
+// SerializeLayers clears b and writes the given layers so that each wraps
+// the ones after it; layers[0] ends up outermost.
+func SerializeLayers(b *Buffer, layers ...SerializableLayer) error {
+	b.Clear()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serialize is a convenience wrapper that allocates a fresh buffer, runs
+// SerializeLayers, and returns the resulting frame bytes.
+func Serialize(layers ...SerializableLayer) ([]byte, error) {
+	b := NewBuffer(128)
+	if err := SerializeLayers(b, layers...); err != nil {
+		return nil, err
+	}
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out, nil
+}
+
+// Raw is a SerializableLayer wrapping literal payload bytes.
+type Raw []byte
+
+// LayerType implements Layer.
+func (Raw) LayerType() LayerType { return LayerTypePayload }
+
+// SerializeTo implements SerializableLayer.
+func (r Raw) SerializeTo(b *Buffer) error {
+	copy(b.Prepend(len(r)), r)
+	return nil
+}

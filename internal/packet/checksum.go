@@ -1,0 +1,54 @@
+package packet
+
+import "net/netip"
+
+// sum16 accumulates data into the running one's-complement sum.
+func sum16(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// foldChecksum folds a 32-bit accumulator into the final 16-bit Internet
+// checksum.
+func foldChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Checksum computes the RFC 1071 Internet checksum over data.
+func Checksum(data []byte) uint16 { return foldChecksum(sum16(0, data)) }
+
+// pseudoHeaderSum returns the partial checksum of the IPv4 or IPv6
+// pseudo-header used by UDP, TCP, and ICMPv6.
+func pseudoHeaderSum(src, dst netip.Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	if src.Is4() && dst.Is4() {
+		s, d := src.As4(), dst.As4()
+		sum = sum16(sum, s[:])
+		sum = sum16(sum, d[:])
+		sum += uint32(proto)
+		sum += uint32(length)
+		return sum
+	}
+	s, d := src.As16(), dst.As16()
+	sum = sum16(sum, s[:])
+	sum = sum16(sum, d[:])
+	sum += uint32(length >> 16)
+	sum += uint32(length & 0xffff)
+	sum += uint32(proto)
+	return sum
+}
+
+// TransportChecksum computes the checksum of a UDP, TCP, or ICMPv6 segment
+// (header+payload, with its checksum field zeroed) between src and dst.
+func TransportChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
+	return foldChecksum(sum16(pseudoHeaderSum(src, dst, proto, len(segment)), segment))
+}

@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit IEEE 802 hardware address.
+type MAC [6]byte
+
+// String renders the address in colon-separated lowercase hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsZero reports whether the address is all zeros.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// IsMulticast reports whether the group bit (I/G) is set.
+func (m MAC) IsMulticast() bool { return m[0]&0x01 != 0 }
+
+// OUI returns the 24-bit organizationally unique identifier.
+func (m MAC) OUI() [3]byte { return [3]byte{m[0], m[1], m[2]} }
+
+// BroadcastMAC is the Ethernet broadcast address ff:ff:ff:ff:ff:ff.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// EtherType identifies the protocol carried in an Ethernet frame.
+type EtherType uint16
+
+// The EtherType values used by the testbed.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeIPv6 EtherType = 0x86dd
+)
+
+// String names well-known EtherType values.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypeIPv6:
+		return "IPv6"
+	}
+	return fmt.Sprintf("EtherType(0x%04x)", uint16(t))
+}
+
+// Ethernet is a DIX Ethernet II frame header.
+type Ethernet struct {
+	Dst, Src    MAC
+	Type        EtherType
+	PayloadData []byte
+}
+
+const ethernetHeaderLen = 14
+
+// LayerType implements Layer.
+func (*Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// DecodeFromBytes implements DecodingLayer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < ethernetHeaderLen {
+		return ErrTruncated
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.Type = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	e.PayloadData = data[ethernetHeaderLen:]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (e *Ethernet) NextLayerType() LayerType {
+	switch e.Type {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeARP:
+		return LayerTypeARP
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	}
+	return LayerTypePayload
+}
+
+// Payload implements DecodingLayer.
+func (e *Ethernet) Payload() []byte { return e.PayloadData }
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *Buffer) error {
+	hdr := b.Prepend(ethernetHeaderLen)
+	copy(hdr[0:6], e.Dst[:])
+	copy(hdr[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(hdr[12:14], uint16(e.Type))
+	return nil
+}

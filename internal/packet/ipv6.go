@@ -1,0 +1,115 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv6 is an IPv6 fixed header (RFC 8200). Hop-by-hop and destination
+// options extension headers encountered on decode are skipped transparently
+// and recorded in ExtHeaders.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	NextHeader   IPProtocol // protocol after any skipped extension headers
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+	// ExtHeaders lists the extension header types skipped during decode,
+	// outermost first.
+	ExtHeaders  []IPProtocol
+	PayloadData []byte
+}
+
+const ipv6HeaderLen = 40
+
+// LayerType implements Layer.
+func (*IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// DecodeFromBytes implements DecodingLayer.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < ipv6HeaderLen {
+		return ErrTruncated
+	}
+	if v := data[0] >> 4; v != 6 {
+		return fmt.Errorf("ipv6: version %d", v)
+	}
+	ip.TrafficClass = data[0]<<4 | data[1]>>4
+	ip.FlowLabel = uint32(data[1]&0x0f)<<16 | uint32(data[2])<<8 | uint32(data[3])
+	payloadLen := int(binary.BigEndian.Uint16(data[4:6]))
+	next := IPProtocol(data[6])
+	ip.HopLimit = data[7]
+	ip.Src = netip.AddrFrom16([16]byte(data[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(data[24:40]))
+	rest := data[ipv6HeaderLen:]
+	if payloadLen <= len(rest) {
+		rest = rest[:payloadLen]
+	}
+	// Skip chained extension headers we do not interpret.
+	ip.ExtHeaders = nil
+	for isExtensionHeader(next) {
+		if len(rest) < 8 {
+			return ErrTruncated
+		}
+		ip.ExtHeaders = append(ip.ExtHeaders, next)
+		hdrLen := 8 + int(rest[1])*8
+		if next == IPProtocolFragment {
+			hdrLen = 8
+		}
+		if len(rest) < hdrLen {
+			return ErrTruncated
+		}
+		next = IPProtocol(rest[0])
+		rest = rest[hdrLen:]
+	}
+	ip.NextHeader = next
+	ip.PayloadData = rest
+	return nil
+}
+
+func isExtensionHeader(p IPProtocol) bool {
+	switch p {
+	case IPProtocolHopByHop, IPProtocolDestOpts, IPProtocolFragment:
+		return true
+	}
+	return false
+}
+
+// NextLayerType implements DecodingLayer.
+func (ip *IPv6) NextLayerType() LayerType {
+	if ip.NextHeader == IPProtocolNoNext {
+		return LayerTypeZero
+	}
+	return transportLayerFor(ip.NextHeader)
+}
+
+// Payload implements DecodingLayer.
+func (ip *IPv6) Payload() []byte { return ip.PayloadData }
+
+// SerializeTo implements SerializableLayer. HopLimit defaults to 64 when
+// zero; extension headers are not emitted.
+func (ip *IPv6) SerializeTo(b *Buffer) error {
+	if !ip.Src.Is6() || ip.Src.Is4In6() || !ip.Dst.Is6() || ip.Dst.Is4In6() {
+		return fmt.Errorf("ipv6: src/dst not IPv6 (%v -> %v)", ip.Src, ip.Dst)
+	}
+	payloadLen := b.Len()
+	if payloadLen > 65535 {
+		return fmt.Errorf("ipv6: payload %d exceeds 16-bit length field", payloadLen)
+	}
+	hdr := b.Prepend(ipv6HeaderLen)
+	hdr[0] = 6<<4 | ip.TrafficClass>>4
+	hdr[1] = ip.TrafficClass<<4 | uint8(ip.FlowLabel>>16)&0x0f
+	hdr[2] = uint8(ip.FlowLabel >> 8)
+	hdr[3] = uint8(ip.FlowLabel)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(payloadLen))
+	hdr[6] = uint8(ip.NextHeader)
+	hl := ip.HopLimit
+	if hl == 0 {
+		hl = 64
+	}
+	hdr[7] = hl
+	s, d := ip.Src.As16(), ip.Dst.As16()
+	copy(hdr[8:24], s[:])
+	copy(hdr[24:40], d[:])
+	return nil
+}

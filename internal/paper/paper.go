@@ -1,0 +1,174 @@
+// Package paper transcribes the published results of "IoT Bricks Over v6"
+// (IMC 2024) that the reproduction targets: per-category feature counts,
+// address and query inventories, destination statistics, and the privacy
+// findings. The workload planner consumes these as generation targets and
+// EXPERIMENTS.md compares them against what the pipeline measures.
+//
+// Category vectors are ordered as the paper's columns:
+// [Appliance, Camera, TV/Ent., Gateway, Health, Home Auto, Speaker].
+package paper
+
+// NumCategories is the number of device categories.
+const NumCategories = 7
+
+// CategoryOrder mirrors the table column order.
+var CategoryOrder = []string{"Appliance", "Camera", "TV/Ent.", "Gateway", "Health", "Home Auto", "Speaker"}
+
+// Vec is a per-category count vector in CategoryOrder.
+type Vec [NumCategories]int
+
+// Total sums the vector.
+func (v Vec) Total() int {
+	t := 0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// DevicesPerCategory is Table 3 row 1 (93 devices).
+var DevicesPerCategory = Vec{7, 18, 8, 12, 6, 26, 16}
+
+// Table3 holds the IPv6-only feature funnel (Table 3 / Figure 2).
+var Table3 = struct {
+	NoIPv6, NDP, NDPNoAddr, Addr, GUA, AddrNoDNS,
+	DNSAAAAReq, AAAAResp, DNSNoData, InternetData, DataNotFunc, Functional Vec
+}{
+	NoIPv6:       Vec{4, 13, 2, 1, 4, 10, 0},
+	NDP:          Vec{3, 5, 6, 11, 2, 16, 16},
+	NDPNoAddr:    Vec{1, 0, 0, 0, 2, 5, 0},
+	Addr:         Vec{2, 5, 6, 11, 0, 11, 16},
+	GUA:          Vec{1, 2, 6, 5, 0, 3, 10},
+	AddrNoDNS:    Vec{1, 3, 0, 8, 0, 11, 6},
+	DNSAAAAReq:   Vec{1, 2, 6, 3, 0, 0, 10},
+	AAAAResp:     Vec{1, 2, 6, 0, 0, 0, 10},
+	DNSNoData:    Vec{0, 0, 0, 3, 0, 0, 0},
+	InternetData: Vec{1, 2, 5, 2, 0, 0, 9},
+	DataNotFunc:  Vec{1, 2, 2, 2, 0, 0, 4},
+	Functional:   Vec{0, 0, 3, 0, 0, 0, 5},
+}
+
+// Table5 holds the union (IPv6-only + dual-stack) feature support counts.
+var Table5 = struct {
+	Addr, StatefulDHCPv6, GUA, ULA, LLA, EUI64,
+	DNSOverV6, AOnlyInV6, AAAAReq, V4OnlyAAAAReq, AAAAResp, AAAAReqNoRes, StatelessDHCPv6,
+	V6Trans, InternetTrans, LocalTrans Vec
+}{
+	Addr:            Vec{2, 5, 6, 11, 1, 13, 16},
+	StatefulDHCPv6:  Vec{1, 0, 2, 2, 0, 6, 1},
+	GUA:             Vec{1, 2, 6, 5, 1, 4, 12},
+	ULA:             Vec{1, 2, 2, 5, 1, 5, 7},
+	LLA:             Vec{2, 5, 6, 10, 0, 11, 16},
+	EUI64:           Vec{1, 2, 3, 7, 0, 8, 10},
+	DNSOverV6:       Vec{1, 2, 6, 3, 0, 0, 10},
+	AOnlyInV6:       Vec{1, 1, 5, 3, 0, 0, 9},
+	AAAAReq:         Vec{1, 7, 7, 6, 0, 1, 15},
+	V4OnlyAAAAReq:   Vec{1, 7, 5, 5, 0, 1, 14},
+	AAAAResp:        Vec{1, 5, 7, 2, 0, 1, 15},
+	AAAAReqNoRes:    Vec{1, 7, 6, 6, 0, 1, 13},
+	StatelessDHCPv6: Vec{1, 0, 3, 3, 0, 6, 3},
+	V6Trans:         Vec{1, 2, 6, 6, 0, 3, 11},
+	InternetTrans:   Vec{1, 2, 6, 3, 0, 0, 11},
+	LocalTrans:      Vec{1, 2, 5, 5, 0, 3, 5},
+}
+
+// Table6 holds the address and distinct-query-name inventories and the
+// dual-stack IPv6 volume fractions.
+var Table6 = struct {
+	IPv6Addrs, GUAAddrs, ULAAddrs, LLAAddrs                   Vec
+	AAAAReqNames, AOnlyV6Names, V4OnlyAAAANames, AAAAResNames Vec
+	// V6VolumeFracPct is the percentage of Internet data volume carried
+	// over IPv6 in dual-stack, per category, and in total.
+	V6VolumeFracPct      [NumCategories]float64
+	V6VolumeFracTotalPct float64
+}{
+	IPv6Addrs:            Vec{19, 105, 71, 150, 2, 23, 314},
+	GUAAddrs:             Vec{12, 74, 55, 119, 1, 5, 190},
+	ULAAddrs:             Vec{4, 26, 6, 20, 1, 7, 105},
+	LLAAddrs:             Vec{3, 5, 10, 11, 0, 11, 19},
+	AAAAReqNames:         Vec{52, 49, 390, 67, 0, 6, 511},
+	AOnlyV6Names:         Vec{12, 1, 16, 13, 0, 0, 72},
+	V4OnlyAAAANames:      Vec{4, 39, 141, 22, 0, 8, 120},
+	AAAAResNames:         Vec{12, 26, 238, 5, 0, 1, 249},
+	V6VolumeFracPct:      [NumCategories]float64{1.2, 3.3, 34.4, 0.0, 0.0, 0.0, 23.3},
+	V6VolumeFracTotalPct: 22.0,
+}
+
+// Table7Category holds destination AAAA readiness by category.
+// Functional rows cover only TV/Ent. and Speaker (the 8 functional
+// devices); zero entries mean no functional devices in that category.
+var Table7Category = struct {
+	FuncDevices, FuncDomains, FuncAAAA          Vec
+	NonFuncDevices, NonFuncDomains, NonFuncAAAA Vec
+}{
+	FuncDevices:    Vec{0, 0, 3, 0, 0, 0, 5},
+	FuncDomains:    Vec{0, 0, 451, 0, 0, 0, 277},
+	FuncAAAA:       Vec{0, 0, 338, 0, 0, 0, 195},
+	NonFuncDevices: Vec{7, 18, 5, 12, 6, 26, 11},
+	NonFuncDomains: Vec{75, 157, 318, 100, 8, 108, 578},
+	NonFuncAAAA:    Vec{16, 44, 127, 17, 6, 23, 185},
+}
+
+// Table9 holds the destination IP-version statistics for dual-stack.
+var Table9 = struct {
+	V6Dest, V4Dest, TotalDest Vec
+	V4PartialToV6, V4FullToV6 Vec
+	V6PartialToV4, V6FullToV4 Vec
+	V4OnlyWithAAAA            Vec
+}{
+	V6Dest:         Vec{10, 23, 426, 20, 0, 0, 290},
+	V4Dest:         Vec{65, 268, 457, 77, 16, 121, 559},
+	TotalDest:      Vec{72, 269, 789, 96, 16, 121, 720},
+	V4PartialToV6:  Vec{1, 15, 29, 1, 0, 0, 78},
+	V4FullToV6:     Vec{0, 0, 20, 0, 0, 0, 17},
+	V6PartialToV4:  Vec{2, 7, 40, 0, 0, 0, 89},
+	V6FullToV4:     Vec{0, 3, 15, 0, 0, 0, 8},
+	V4OnlyWithAAAA: Vec{0, 1, 18, 0, 0, 0, 13},
+}
+
+// EUI64 holds the Figure 5 privacy funnel and domain-party splits.
+var EUI64 = struct {
+	// Funnel: devices assigning GUA EUI-64 addresses, using them, using
+	// them for DNS, and for Internet data. The paper's §5.4.1 narrative
+	// (18 assign-but-never-use + 15 use = 33) conflicts with Table 5's 31
+	// EUI-64 devices; we target the usage side of the funnel exactly.
+	Use, DNS, Data int
+	// DataDomains: domains contacted by the 5 data devices (24 first, 1
+	// third, 2 support = 27).
+	DataDomains, DataFirst, DataThird, DataSupport int
+	// DNSDomains: names queried by the 3 DNS-only Samsung devices.
+	DNSDomains, DNSFirst, DNSThird, DNSSupport int
+}{
+	Use: 15, DNS: 8, Data: 5,
+	DataDomains: 27, DataFirst: 24, DataThird: 1, DataSupport: 2,
+	DNSDomains: 30, DNSFirst: 20, DNSThird: 8, DNSSupport: 2,
+}
+
+// DAD holds the §5.2.1 duplicate-address-detection audit findings.
+var DAD = struct {
+	DevicesSkipping                 int // devices skipping DAD for ≥1 address
+	GUAsNoDAD, ULAsNoDAD, LLAsNoDAD int
+	DevicesNeverDAD                 int // fully non-compliant devices
+}{
+	DevicesSkipping: 18, GUAsNoDAD: 20, ULAsNoDAD: 7, LLAsNoDAD: 8,
+	DevicesNeverDAD: 4,
+}
+
+// PortScan holds the §5.4.2 findings.
+var PortScan = struct {
+	DevicesWithV4OnlyPorts int
+	FridgeV6OnlyPorts      []uint16
+}{
+	DevicesWithV4OnlyPorts: 6,
+	FridgeV6OnlyPorts:      []uint16{37993, 46525, 46757},
+}
+
+// Tracking holds the §5.4.3 findings for the 8 functional devices.
+var Tracking = struct {
+	V4OnlyDomains, V4OnlySLDs, ThirdPartySLDs int
+}{V4OnlyDomains: 129, V4OnlySLDs: 31, ThirdPartySLDs: 13}
+
+// Headline percentages from the abstract, for README-level checks.
+var Headline = struct {
+	PctV6Traffic, PctAssignAddr, PctAAAAInV6, PctInternetV6, PctFunctional, PctEUI64 float64
+}{63.4, 53.8, 23.7, 20.4, 8.6, 16.1}

@@ -1,0 +1,200 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecords() []Record {
+	t0 := time.Date(2024, 4, 5, 12, 0, 0, 123456000, time.UTC)
+	return []Record{
+		{Time: t0, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}},
+		{Time: t0.Add(time.Millisecond), Data: bytes.Repeat([]byte{0xab}, 60)},
+		{Time: t0.Add(time.Second), Data: []byte{0xff}},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !got[i].Time.Equal(recs[i].Time) {
+			t.Errorf("record %d time %v, want %v", i, got[i].Time, recs[i].Time)
+		}
+		if !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Errorf("record %d data mismatch", i)
+		}
+	}
+}
+
+func TestEmptyCaptureHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != fileHeaderLen {
+		t.Fatalf("header len %d", buf.Len())
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.ReadRecord(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err != ErrBadMagic {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{0xd4, 0xc3})); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestBigEndianAndNanosecondVariants(t *testing.T) {
+	// Build a big-endian nanosecond file by hand with one 2-byte record.
+	var buf bytes.Buffer
+	hdr := make([]byte, fileHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:4], 0xa1b23c4d)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	rec := make([]byte, recordHeaderLen+2)
+	binary.BigEndian.PutUint32(rec[0:4], 1700000000)
+	binary.BigEndian.PutUint32(rec[4:8], 42)
+	binary.BigEndian.PutUint32(rec[8:12], 2)
+	binary.BigEndian.PutUint32(rec[12:16], 2)
+	rec[16], rec[17] = 0xde, 0xad
+	buf.Write(rec)
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time.Unix() != 1700000000 || got.Time.Nanosecond() != 42 {
+		t.Errorf("time %v", got.Time)
+	}
+	if !bytes.Equal(got.Data, []byte{0xde, 0xad}) {
+		t.Errorf("data %x", got.Data)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pcap")
+	recs := sampleRecords()
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+}
+
+func TestCaptureCopiesData(t *testing.T) {
+	var c Capture
+	buf := []byte{1, 2, 3}
+	c.Add(time.Unix(0, 0), buf)
+	buf[0] = 99
+	if c.Records[0].Data[0] != 1 {
+		t.Error("capture aliased caller buffer")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len %d", c.Len())
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, recordHeaderLen)
+	binary.LittleEndian.PutUint32(rec[8:12], MaxSnapLen+1)
+	buf.Write(rec)
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.ReadRecord(); err == nil {
+		t.Fatal("want error for oversize record")
+	}
+}
+
+// Property: any set of frames survives a write/read cycle byte-for-byte.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(frames [][]byte) bool {
+		recs := make([]Record, len(frames))
+		base := time.Unix(1712000000, 0)
+		for i, fr := range frames {
+			recs[i] = Record{Time: base.Add(time.Duration(i) * time.Microsecond), Data: fr}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.WriteRecord(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := rd.ReadAll()
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].Data, recs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

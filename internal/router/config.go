@@ -1,0 +1,26 @@
+package router
+
+// Config selects which connectivity services the router runs, mirroring the
+// six experiment configurations of Table 2. SLAAC and RDNSS are toggled
+// together, exactly as the paper's configurations do.
+type Config struct {
+	// Name labels the experiment (e.g. "ipv6-only-stateful").
+	Name string
+	// IPv4 enables DHCPv4, ARP, and NAT44 forwarding.
+	IPv4 bool
+	// IPv6 enables router advertisements with SLAAC prefixes and RDNSS,
+	// NDP, and IPv6 forwarding.
+	IPv6 bool
+	// StatelessDHCPv6 answers INFORMATION-REQUEST with DNS configuration
+	// and sets the RA O flag.
+	StatelessDHCPv6 bool
+	// StatefulDHCPv6 assigns IA_NA addresses and sets the RA M flag.
+	StatefulDHCPv6 bool
+}
+
+// RDNSS reports whether RAs carry the RDNSS option; the paper enables it
+// whenever SLAAC is on.
+func (c Config) RDNSS() bool { return c.IPv6 }
+
+// DualStack reports whether both families are enabled.
+func (c Config) DualStack() bool { return c.IPv4 && c.IPv6 }

@@ -1,0 +1,382 @@
+// Package router implements the testbed's home gateway: the Linux router
+// of the paper's Mon(IoT)r lab with its dnsmasq services (DHCPv4, stateless
+// and stateful DHCPv6, SLAAC router advertisements with RDNSS), ARP and
+// NDP responders, NAT44 toward the simulated Internet, and routed IPv6
+// over a Hurricane-Electric-style tunnel prefix.
+package router
+
+import (
+	"net/netip"
+
+	"v6lab/internal/addr"
+	"v6lab/internal/cloud"
+	"v6lab/internal/netsim"
+	"v6lab/internal/packet"
+)
+
+// Network constants for the simulated LAN and WAN, chosen to mirror the
+// paper's setup (§4.1): private IPv4 behind NAT, an HE-tunnel routed /64,
+// and an additionally advertised ULA prefix for local-protocol devices.
+var (
+	LANv4Prefix = netip.MustParsePrefix("192.168.1.0/24")
+	RouterV4    = netip.MustParseAddr("192.168.1.1")
+	WANv4       = netip.MustParseAddr("203.0.113.2")
+	GUAPrefix   = netip.MustParsePrefix("2001:470:8:100::/64")
+	ULAPrefix   = netip.MustParsePrefix("fd42:6c61:6221::/64")
+	RouterGUA   = netip.MustParseAddr("2001:470:8:100::1")
+	RouterLLA   = netip.MustParseAddr("fe80::1")
+	RouterMAC   = packet.MAC{0x02, 0x00, 0x5e, 0x00, 0x00, 0x01}
+)
+
+type natKey struct {
+	proto   packet.IPProtocol
+	natPort uint16
+}
+
+type natEntry struct {
+	devIP   netip.Addr
+	devPort uint16
+}
+
+// Router is the home gateway. It attaches to the LAN as a netsim host and
+// reaches the simulated cloud by direct call on its WAN side.
+type Router struct {
+	Cfg   Config
+	Cloud *cloud.Cloud
+
+	port  *netsim.Port
+	clock *netsim.Clock
+
+	// dhcp4Leases maps client MAC to its assigned private address.
+	dhcp4Leases map[packet.MAC]netip.Addr
+	nextLease   uint8
+
+	// dhcp6Leases maps client DUID (stringified) to its IA_NA address.
+	dhcp6Leases map[string]netip.Addr
+	nextV6Lease uint16
+
+	// Neighbors is the IPv6 neighbor table the paper's port-scan
+	// methodology harvests addresses from (§4.3).
+	Neighbors map[netip.Addr]packet.MAC
+	// ARPTable is the IPv4 equivalent.
+	ARPTable map[netip.Addr]packet.MAC
+
+	nat     map[natKey]natEntry
+	natBack map[natEntry]uint16
+	natNext uint16
+
+	// ForwardedV4 and ForwardedV6 count packets routed to the Internet.
+	ForwardedV4, ForwardedV6 int
+}
+
+// New creates a router with the given services enabled.
+func New(cfg Config, cl *cloud.Cloud) *Router {
+	return &Router{
+		Cfg:         cfg,
+		Cloud:       cl,
+		dhcp4Leases: make(map[packet.MAC]netip.Addr),
+		dhcp6Leases: make(map[string]netip.Addr),
+		Neighbors:   make(map[netip.Addr]packet.MAC),
+		ARPTable:    make(map[netip.Addr]packet.MAC),
+		nat:         make(map[natKey]natEntry),
+		natBack:     make(map[natEntry]uint16),
+		natNext:     20000,
+	}
+}
+
+// Attach connects the router to the LAN.
+func (r *Router) Attach(n *netsim.Network) {
+	r.clock = n.Clock
+	r.port = n.Attach(r, RouterMAC)
+}
+
+// HandleFrame implements netsim.Host.
+func (r *Router) HandleFrame(frame []byte) {
+	p := packet.Parse(frame)
+	if p.Ethernet == nil {
+		return
+	}
+	switch {
+	case p.ARP != nil:
+		r.handleARP(p)
+	case p.IPv4 != nil:
+		r.learnV4(p)
+		r.handleIPv4(p)
+	case p.IPv6 != nil:
+		r.learnV6(p)
+		r.handleIPv6(p)
+	}
+}
+
+func (r *Router) learnV4(p *packet.Packet) {
+	src := p.IPv4.Src
+	if src.IsValid() && LANv4Prefix.Contains(src) && src != RouterV4 {
+		r.ARPTable[src] = p.Ethernet.Src
+	}
+}
+
+func (r *Router) learnV6(p *packet.Packet) {
+	src := p.IPv6.Src
+	if k := addr.Classify(src); k == addr.KindLLA || k == addr.KindULA || k == addr.KindGUA {
+		r.Neighbors[src] = p.Ethernet.Src
+	}
+}
+
+func (r *Router) handleARP(p *packet.Packet) {
+	if !r.Cfg.IPv4 || p.ARP.Op != packet.ARPRequest || p.ARP.TargetIP != RouterV4 {
+		return
+	}
+	r.ARPTable[p.ARP.SenderIP] = p.ARP.SenderMAC
+	reply, err := packet.Serialize(
+		&packet.Ethernet{Dst: p.Ethernet.Src, Src: RouterMAC, Type: packet.EtherTypeARP},
+		&packet.ARP{
+			Op: packet.ARPReply, SenderMAC: RouterMAC, SenderIP: RouterV4,
+			TargetMAC: p.ARP.SenderMAC, TargetIP: p.ARP.SenderIP,
+		})
+	if err == nil {
+		r.port.Send(reply)
+	}
+}
+
+func (r *Router) handleIPv4(p *packet.Packet) {
+	if !r.Cfg.IPv4 {
+		return
+	}
+	// DHCPv4 to the server port.
+	if p.UDP != nil && p.UDP.DstPort == 67 {
+		r.handleDHCPv4(p)
+		return
+	}
+	dst := p.IPv4.Dst
+	if dst == RouterV4 || dst.IsMulticast() || dst == netip.MustParseAddr("255.255.255.255") {
+		return // local traffic for the router itself; nothing else to do
+	}
+	if LANv4Prefix.Contains(dst) {
+		return // LAN-to-LAN traffic is switched, not routed
+	}
+	r.forwardV4(p)
+}
+
+func (r *Router) handleIPv6(p *packet.Packet) {
+	if !r.Cfg.IPv6 {
+		return
+	}
+	if p.ICMPv6 != nil {
+		r.handleNDP(p)
+		// NDP handled; echo and other ICMPv6 may still be forwarded below.
+		if p.ICMPv6.Type >= packet.ICMPv6TypeRouterSolicit && p.ICMPv6.Type <= packet.ICMPv6TypeNeighborAdvert {
+			return
+		}
+	}
+	if p.UDP != nil && p.UDP.DstPort == 547 {
+		r.handleDHCPv6(p)
+		return
+	}
+	dst := p.IPv6.Dst
+	switch addr.Classify(dst) {
+	case addr.KindGUA:
+		if GUAPrefix.Contains(dst) {
+			return // on-link destination, switched not routed
+		}
+		r.forwardV6(p)
+	default:
+		// LLA/ULA/multicast destinations never leave the LAN.
+	}
+}
+
+// forwardV4 NATs a LAN packet to the WAN address, hands it to the cloud,
+// and translates any replies back to the device.
+func (r *Router) forwardV4(p *packet.Packet) {
+	devIP := p.IPv4.Src
+	devMAC := p.Ethernet.Src
+	var devPort, natPort uint16
+	var proto packet.IPProtocol
+	var l4 packet.SerializableLayer
+	switch {
+	case p.UDP != nil:
+		proto, devPort = packet.IPProtocolUDP, p.UDP.SrcPort
+	case p.TCP != nil:
+		proto, devPort = packet.IPProtocolTCP, p.TCP.SrcPort
+	case p.ICMPv4 != nil:
+		proto = packet.IPProtocolICMPv4
+	default:
+		return
+	}
+	entry := natEntry{devIP: devIP, devPort: devPort}
+	var ok bool
+	if natPort, ok = r.natBack[entry]; !ok {
+		r.natNext++
+		natPort = r.natNext
+		r.natBack[entry] = natPort
+		// Full-cone mapping: replies from any remote endpoint on the
+		// translated port reach the device.
+		r.nat[natKey{proto: proto, natPort: natPort}] = entry
+	}
+	switch {
+	case p.UDP != nil:
+		l4 = &packet.UDP{SrcPort: natPort, DstPort: p.UDP.DstPort, Src: WANv4, Dst: p.IPv4.Dst, PayloadData: p.UDP.PayloadData}
+	case p.TCP != nil:
+		t := *p.TCP
+		t.SrcPort, t.Src, t.Dst = natPort, WANv4, p.IPv4.Dst
+		l4 = &t
+	case p.ICMPv4 != nil:
+		l4 = p.ICMPv4
+	}
+	raw, err := buildIPPacket(WANv4, p.IPv4.Dst, l4)
+	if err != nil {
+		return
+	}
+	r.ForwardedV4++
+	for _, reply := range r.Cloud.HandleIP(raw) {
+		r.deliverWANReplyV4(reply, devMAC)
+	}
+}
+
+func (r *Router) deliverWANReplyV4(raw []byte, devMAC packet.MAC) {
+	rp := packet.ParseIP(raw)
+	if rp.Err != nil || rp.IPv4 == nil {
+		return
+	}
+	var entry natEntry
+	var ok bool
+	switch {
+	case rp.UDP != nil:
+		entry, ok = r.nat[natKey{proto: packet.IPProtocolUDP, natPort: rp.UDP.DstPort}]
+	case rp.TCP != nil:
+		entry, ok = r.nat[natKey{proto: packet.IPProtocolTCP, natPort: rp.TCP.DstPort}]
+	case rp.ICMPv4 != nil:
+		// ICMP has no ports; deliver to the requesting device directly.
+		entry, ok = natEntry{}, true
+	}
+	if !ok {
+		return
+	}
+	var l4 packet.SerializableLayer
+	devIP := entry.devIP
+	switch {
+	case rp.UDP != nil:
+		l4 = &packet.UDP{SrcPort: rp.UDP.SrcPort, DstPort: entry.devPort, Src: rp.IPv4.Src, Dst: devIP, PayloadData: rp.UDP.PayloadData}
+	case rp.TCP != nil:
+		t := *rp.TCP
+		t.DstPort, t.Src, t.Dst = entry.devPort, rp.IPv4.Src, devIP
+		l4 = &t
+	case rp.ICMPv4 != nil:
+		// Without a port mapping we cannot recover the device IP from the
+		// ICMP reply alone; use the ARP table via MAC instead.
+		devIP = r.ipForMACv4(devMAC)
+		if !devIP.IsValid() {
+			return
+		}
+		l4 = rp.ICMPv4
+	}
+	mac := r.ARPTable[devIP]
+	if mac.IsZero() {
+		mac = devMAC
+	}
+	frame, err := buildFrame(mac, RouterMAC, rp.IPv4.Src, devIP, l4)
+	if err == nil {
+		r.port.Send(frame)
+	}
+}
+
+func (r *Router) ipForMACv4(mac packet.MAC) netip.Addr {
+	for ip, m := range r.ARPTable {
+		if m == mac {
+			return ip
+		}
+	}
+	return netip.Addr{}
+}
+
+// forwardV6 routes a LAN packet to the cloud unchanged (the paper's LAN is
+// a routed /64, no NAT66) and relays replies to the device by neighbor
+// lookup.
+func (r *Router) forwardV6(p *packet.Packet) {
+	if !GUAPrefix.Contains(p.IPv6.Src) {
+		return // ULA/LLA sources are not globally routable
+	}
+	raw, err := reserializeIPv6(p)
+	if err != nil {
+		return
+	}
+	r.ForwardedV6++
+	for _, reply := range r.Cloud.HandleIP(raw) {
+		rp := packet.ParseIP(reply)
+		if rp.Err != nil || rp.IPv6 == nil {
+			continue
+		}
+		dev := rp.IPv6.Dst
+		mac, ok := r.Neighbors[dev]
+		if !ok {
+			continue
+		}
+		frame, err := prependEthernet(mac, RouterMAC, packet.EtherTypeIPv6, reply)
+		if err == nil {
+			r.port.Send(frame)
+		}
+	}
+}
+
+// reserializeIPv6 strips the Ethernet header, returning the raw IP packet.
+func reserializeIPv6(p *packet.Packet) ([]byte, error) {
+	return append([]byte(nil), p.Ethernet.PayloadData...), nil
+}
+
+func prependEthernet(dst, src packet.MAC, typ packet.EtherType, ip []byte) ([]byte, error) {
+	return packet.Serialize(&packet.Ethernet{Dst: dst, Src: src, Type: typ}, packet.Raw(ip))
+}
+
+// buildIPPacket serializes an IPv4 packet around an L4 layer, re-emitting
+// any payload the layer carries.
+func buildIPPacket(src, dst netip.Addr, l4 packet.SerializableLayer) ([]byte, error) {
+	layers := []packet.SerializableLayer{
+		&packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst},
+	}
+	layers = append(layers, l4)
+	if extra := payloadOf(l4); extra != nil {
+		layers = append(layers, packet.Raw(extra))
+	}
+	return packet.Serialize(layers...)
+}
+
+func buildFrame(dstMAC, srcMAC packet.MAC, src, dst netip.Addr, l4 packet.SerializableLayer) ([]byte, error) {
+	var ipLayer packet.SerializableLayer
+	typ := packet.EtherTypeIPv4
+	if src.Is4() {
+		ipLayer = &packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst}
+	} else {
+		ipLayer = &packet.IPv6{NextHeader: protoOf(l4), Src: src, Dst: dst}
+		typ = packet.EtherTypeIPv6
+	}
+	layers := []packet.SerializableLayer{
+		&packet.Ethernet{Dst: dstMAC, Src: srcMAC, Type: typ}, ipLayer, l4,
+	}
+	if extra := payloadOf(l4); extra != nil {
+		layers = append(layers, packet.Raw(extra))
+	}
+	return packet.Serialize(layers...)
+}
+
+func protoOf(l packet.SerializableLayer) packet.IPProtocol {
+	switch l.(type) {
+	case *packet.UDP:
+		return packet.IPProtocolUDP
+	case *packet.TCP:
+		return packet.IPProtocolTCP
+	case *packet.ICMPv6:
+		return packet.IPProtocolICMPv6
+	case *packet.ICMPv4:
+		return packet.IPProtocolICMPv4
+	}
+	return packet.IPProtocolNoNext
+}
+
+func payloadOf(l packet.SerializableLayer) []byte {
+	switch v := l.(type) {
+	case *packet.UDP:
+		return v.PayloadData
+	case *packet.TCP:
+		return v.PayloadData
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package router
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"time"
+
+	"v6lab/internal/addr"
+	"v6lab/internal/cloud"
+	"v6lab/internal/dhcp4"
+	"v6lab/internal/dhcp6"
+	"v6lab/internal/ndp"
+	"v6lab/internal/packet"
+)
+
+// handleDHCPv4 implements the dnsmasq DHCPv4 server: DISCOVER→OFFER,
+// REQUEST→ACK, with router, mask, DNS, and lease options.
+func (r *Router) handleDHCPv4(p *packet.Packet) {
+	msg, err := dhcp4.Unmarshal(p.UDP.PayloadData)
+	if err != nil {
+		return
+	}
+	lease, ok := r.dhcp4Leases[msg.ClientMAC]
+	if !ok {
+		r.nextLease++
+		lease = netip.AddrFrom4([4]byte{192, 168, 1, 100 + r.nextLease})
+		r.dhcp4Leases[msg.ClientMAC] = lease
+	}
+	var replyType uint8
+	switch msg.Type {
+	case dhcp4.Discover:
+		replyType = dhcp4.Offer
+	case dhcp4.Request:
+		replyType = dhcp4.ACK
+	default:
+		return
+	}
+	reply := &dhcp4.Message{
+		Op: 2, XID: msg.XID, ClientMAC: msg.ClientMAC, Type: replyType,
+		YourIP: lease, ServerIP: RouterV4, ServerID: RouterV4,
+		SubnetMask: netip.MustParseAddr("255.255.255.0"),
+		Router:     RouterV4,
+		DNS:        []netip.Addr{cloud.DNSv4},
+		LeaseSecs:  3600,
+	}
+	wire, err := reply.Marshal()
+	if err != nil {
+		return
+	}
+	r.ARPTable[lease] = msg.ClientMAC
+	frame, err := buildFrame(msg.ClientMAC, RouterMAC, RouterV4, lease,
+		&packet.UDP{SrcPort: dhcp4.ServerPort, DstPort: dhcp4.ClientPort, Src: RouterV4, Dst: lease, PayloadData: wire})
+	if err == nil {
+		r.port.Send(frame)
+	}
+}
+
+// LeaseFor returns the DHCPv4 lease assigned to a MAC, if any.
+func (r *Router) LeaseFor(mac packet.MAC) (netip.Addr, bool) {
+	a, ok := r.dhcp4Leases[mac]
+	return a, ok
+}
+
+// handleNDP answers router solicitations with the configured RA, answers
+// neighbor solicitations for the router's own addresses, and learns
+// neighbors from advertisements.
+func (r *Router) handleNDP(p *packet.Packet) {
+	switch p.ICMPv6.Type {
+	case packet.ICMPv6TypeRouterSolicit:
+		if _, err := ndp.ParseRouterSolicit(p.ICMPv6.Body); err == nil {
+			r.SendRouterAdvert()
+		}
+	case packet.ICMPv6TypeNeighborSolicit:
+		ns, err := ndp.ParseNeighborSolicit(p.ICMPv6.Body)
+		if err != nil {
+			return
+		}
+		if !ns.SourceLinkAddr.IsZero() && p.IPv6.Src.IsValid() && addr.Classify(p.IPv6.Src) != addr.KindUnspecified {
+			r.Neighbors[p.IPv6.Src] = ns.SourceLinkAddr
+		}
+		if ns.Target == RouterLLA || ns.Target == RouterGUA {
+			r.sendNA(p.Ethernet.Src, p.IPv6.Src, ns.Target)
+		}
+	case packet.ICMPv6TypeNeighborAdvert:
+		if na, err := ndp.ParseNeighborAdvert(p.ICMPv6.Body); err == nil && !na.TargetLinkAddr.IsZero() {
+			r.Neighbors[na.Target] = na.TargetLinkAddr
+		}
+	}
+}
+
+// SendRouterAdvert multicasts the RA describing the experiment's
+// configuration: SLAAC prefixes for the GUA and ULA /64s, RDNSS pointing
+// at the IPv6 resolver, and M/O flags per the DHCPv6 services enabled.
+func (r *Router) SendRouterAdvert() {
+	if !r.Cfg.IPv6 {
+		return
+	}
+	ra := &ndp.RouterAdvert{
+		HopLimit:       64,
+		Managed:        r.Cfg.StatefulDHCPv6,
+		OtherConfig:    r.Cfg.StatelessDHCPv6,
+		RouterLifetime: 1800 * time.Second,
+		MTU:            1500,
+		SourceLinkAddr: RouterMAC,
+		Prefixes: []ndp.PrefixInfo{
+			{Prefix: GUAPrefix, OnLink: true, AutonomousFlag: true,
+				ValidLifetime: 86400 * time.Second, PreferredLifetime: 14400 * time.Second},
+			{Prefix: ULAPrefix, OnLink: true, AutonomousFlag: true,
+				ValidLifetime: 86400 * time.Second, PreferredLifetime: 86400 * time.Second},
+		},
+	}
+	if r.Cfg.RDNSS() {
+		ra.RDNSS = []ndp.RDNSS{{Lifetime: 1800 * time.Second, Servers: []netip.Addr{cloud.DNSv6}}}
+	}
+	dst := addr.AllNodesMulticast
+	frame, err := packet.Serialize(
+		&packet.Ethernet{Dst: addr.MulticastMAC(dst), Src: RouterMAC, Type: packet.EtherTypeIPv6},
+		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 255, Src: RouterLLA, Dst: dst},
+		&packet.ICMPv6{Type: packet.ICMPv6TypeRouterAdvert, Body: ra.MarshalBody(), Src: RouterLLA, Dst: dst},
+	)
+	if err == nil {
+		r.port.Send(frame)
+	}
+}
+
+func (r *Router) sendNA(dstMAC packet.MAC, dstIP, target netip.Addr) {
+	if !dstIP.IsValid() || addr.Classify(dstIP) == addr.KindUnspecified {
+		// DAD probe for one of our own addresses: defend it by multicast NA.
+		dstIP = addr.AllNodesMulticast
+		dstMAC = addr.MulticastMAC(dstIP)
+	}
+	na := &ndp.NeighborAdvert{Router: true, Solicited: true, Override: true, Target: target, TargetLinkAddr: RouterMAC}
+	frame, err := packet.Serialize(
+		&packet.Ethernet{Dst: dstMAC, Src: RouterMAC, Type: packet.EtherTypeIPv6},
+		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 255, Src: RouterLLA, Dst: dstIP},
+		&packet.ICMPv6{Type: packet.ICMPv6TypeNeighborAdvert, Body: na.MarshalBody(), Src: RouterLLA, Dst: dstIP},
+	)
+	if err == nil {
+		r.port.Send(frame)
+	}
+}
+
+// handleDHCPv6 implements the dnsmasq DHCPv6 server in the modes Table 2
+// configures: stateless answers INFORMATION-REQUEST with DNS servers;
+// stateful additionally runs SOLICIT→ADVERTISE→REQUEST→REPLY with IA_NA
+// assignment out of the GUA prefix.
+func (r *Router) handleDHCPv6(p *packet.Packet) {
+	msg, err := dhcp6.Unmarshal(p.UDP.PayloadData)
+	if err != nil {
+		return
+	}
+	reply := &dhcp6.Message{
+		TxID:     msg.TxID,
+		ClientID: msg.ClientID,
+		ServerID: dhcp6.DUIDFromMAC(RouterMAC),
+	}
+	switch msg.Type {
+	case dhcp6.InfoRequest:
+		if !r.Cfg.StatelessDHCPv6 && !r.Cfg.StatefulDHCPv6 {
+			return
+		}
+		reply.Type = dhcp6.Reply
+		if msg.WantsDNS() {
+			reply.DNS = []netip.Addr{cloud.DNSv6}
+		}
+	case dhcp6.Solicit, dhcp6.Request:
+		if !r.Cfg.StatefulDHCPv6 || msg.IANA == nil {
+			return
+		}
+		if msg.Type == dhcp6.Solicit {
+			reply.Type = dhcp6.Advertise
+		} else {
+			reply.Type = dhcp6.Reply
+		}
+		lease := r.leaseV6(string(msg.ClientID))
+		reply.IANA = &dhcp6.IANA{IAID: msg.IANA.IAID, Addrs: []dhcp6.IAAddr{{
+			Addr: lease, PreferredLifetime: 3600, ValidLifetime: 7200,
+		}}}
+		if msg.WantsDNS() {
+			reply.DNS = []netip.Addr{cloud.DNSv6}
+		}
+	default:
+		return
+	}
+	wire, err := reply.Marshal()
+	if err != nil {
+		return
+	}
+	src := p.IPv6.Src
+	frame, err := buildFrame(p.Ethernet.Src, RouterMAC, RouterLLA, src,
+		&packet.UDP{SrcPort: dhcp6.ServerPort, DstPort: dhcp6.ClientPort, Src: RouterLLA, Dst: src, PayloadData: wire})
+	if err == nil {
+		r.port.Send(frame)
+	}
+}
+
+// leaseV6 assigns a stable IA_NA address from the GUA prefix per DUID.
+func (r *Router) leaseV6(duid string) netip.Addr {
+	if a, ok := r.dhcp6Leases[duid]; ok {
+		return a
+	}
+	r.nextV6Lease++
+	var iid [8]byte
+	iid[5] = 0x10 // 2001:470:8:100::10xx range, away from SLAAC IIDs
+	binary.BigEndian.PutUint16(iid[6:8], r.nextV6Lease)
+	a := addr.FromPrefixIID(GUAPrefix, iid)
+	r.dhcp6Leases[duid] = a
+	return a
+}
+
+// DHCPv6LeaseFor returns the stateful lease for a DUID, if assigned.
+func (r *Router) DHCPv6LeaseFor(duid []byte) (netip.Addr, bool) {
+	a, ok := r.dhcp6Leases[string(duid)]
+	return a, ok
+}

@@ -1,0 +1,149 @@
+// Package tlssim builds and parses just enough of a TLS 1.2/1.3
+// ClientHello to carry a Server Name Indication extension. The paper's
+// pipeline extracts destination domains "from the DNS queries and TLS
+// handshake data" (§5.2.2); the simulated devices open their application
+// connections with these hellos so the analyzer can exercise the same
+// extraction path.
+package tlssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+)
+
+const (
+	recordTypeHandshake   = 22
+	handshakeClientHello  = 1
+	extensionServerName   = 0
+	sniHostNameType       = 0
+	versionTLS12          = 0x0303
+	clientHelloHeaderSkip = 2 + 32 // version + random
+)
+
+// ErrNotClientHello is returned when a payload is not a TLS ClientHello.
+var ErrNotClientHello = errors.New("tlssim: not a client hello")
+
+// ClientHello serializes a minimal TLS record containing a ClientHello
+// whose SNI names host. rng randomizes the client random; it may be nil
+// for a zero random.
+func ClientHello(host string, rng *rand.Rand) []byte {
+	// Extensions: server_name only.
+	nameBytes := []byte(host)
+	sniEntry := make([]byte, 3+len(nameBytes))
+	sniEntry[0] = sniHostNameType
+	binary.BigEndian.PutUint16(sniEntry[1:3], uint16(len(nameBytes)))
+	copy(sniEntry[3:], nameBytes)
+	sniList := make([]byte, 2+len(sniEntry))
+	binary.BigEndian.PutUint16(sniList[0:2], uint16(len(sniEntry)))
+	copy(sniList[2:], sniEntry)
+	ext := make([]byte, 4+len(sniList))
+	binary.BigEndian.PutUint16(ext[0:2], extensionServerName)
+	binary.BigEndian.PutUint16(ext[2:4], uint16(len(sniList)))
+	copy(ext[4:], sniList)
+
+	// ClientHello body.
+	body := make([]byte, 0, 64+len(ext))
+	body = binary.BigEndian.AppendUint16(body, versionTLS12)
+	random := make([]byte, 32)
+	if rng != nil {
+		for i := range random {
+			random[i] = byte(rng.Intn(256))
+		}
+	}
+	body = append(body, random...)
+	body = append(body, 0)                                       // session id length
+	body = append(body, 0, 2, 0x13, 0x01)                        // one cipher suite: TLS_AES_128_GCM_SHA256
+	body = append(body, 1, 0)                                    // compression: null
+	body = binary.BigEndian.AppendUint16(body, uint16(len(ext))) // extensions length
+	body = append(body, ext...)
+
+	// Handshake header.
+	hs := make([]byte, 4+len(body))
+	hs[0] = handshakeClientHello
+	hs[1] = byte(len(body) >> 16)
+	hs[2] = byte(len(body) >> 8)
+	hs[3] = byte(len(body))
+	copy(hs[4:], body)
+
+	// Record header.
+	rec := make([]byte, 5+len(hs))
+	rec[0] = recordTypeHandshake
+	binary.BigEndian.PutUint16(rec[1:3], versionTLS12)
+	binary.BigEndian.PutUint16(rec[3:5], uint16(len(hs)))
+	copy(rec[5:], hs)
+	return rec
+}
+
+// SNI extracts the server name from a TLS ClientHello record, returning
+// ErrNotClientHello for payloads that are not hellos and "" (no error) for
+// hellos without the extension.
+func SNI(payload []byte) (string, error) {
+	if len(payload) < 5 || payload[0] != recordTypeHandshake {
+		return "", ErrNotClientHello
+	}
+	recLen := int(binary.BigEndian.Uint16(payload[3:5]))
+	if len(payload) < 5+recLen {
+		return "", ErrNotClientHello
+	}
+	hs := payload[5 : 5+recLen]
+	if len(hs) < 4 || hs[0] != handshakeClientHello {
+		return "", ErrNotClientHello
+	}
+	hsLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	if len(hs) < 4+hsLen {
+		return "", ErrNotClientHello
+	}
+	b := hs[4 : 4+hsLen]
+	if len(b) < clientHelloHeaderSkip+1 {
+		return "", ErrNotClientHello
+	}
+	p := clientHelloHeaderSkip
+	sessLen := int(b[p])
+	p += 1 + sessLen
+	if len(b) < p+2 {
+		return "", ErrNotClientHello
+	}
+	csLen := int(binary.BigEndian.Uint16(b[p : p+2]))
+	p += 2 + csLen
+	if len(b) < p+1 {
+		return "", ErrNotClientHello
+	}
+	compLen := int(b[p])
+	p += 1 + compLen
+	if len(b) < p+2 {
+		return "", nil // no extensions block: legal, no SNI
+	}
+	extLen := int(binary.BigEndian.Uint16(b[p : p+2]))
+	p += 2
+	if len(b) < p+extLen {
+		return "", ErrNotClientHello
+	}
+	exts := b[p : p+extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts[0:2])
+		l := int(binary.BigEndian.Uint16(exts[2:4]))
+		if len(exts) < 4+l {
+			return "", ErrNotClientHello
+		}
+		if typ == extensionServerName {
+			v := exts[4 : 4+l]
+			if len(v) < 2 {
+				return "", ErrNotClientHello
+			}
+			list := v[2:]
+			for len(list) >= 3 {
+				nameLen := int(binary.BigEndian.Uint16(list[1:3]))
+				if len(list) < 3+nameLen {
+					return "", ErrNotClientHello
+				}
+				if list[0] == sniHostNameType {
+					return string(list[3 : 3+nameLen]), nil
+				}
+				list = list[3+nameLen:]
+			}
+		}
+		exts = exts[4+l:]
+	}
+	return "", nil
+}

@@ -1,0 +1,75 @@
+package tlssim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClientHelloSNIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, host := range []string{"api.nest.example", "a2.tuyaus.com", "x", strings.Repeat("a", 63) + ".example"} {
+		rec := ClientHello(host, rng)
+		got, err := SNI(rec)
+		if err != nil {
+			t.Fatalf("%s: %v", host, err)
+		}
+		if got != host {
+			t.Errorf("SNI = %q, want %q", got, host)
+		}
+	}
+}
+
+func TestClientHelloNilRNG(t *testing.T) {
+	rec := ClientHello("example.com", nil)
+	got, err := SNI(rec)
+	if err != nil || got != "example.com" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestSNIRejectsNonHello(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		[]byte("GET / HTTP/1.1\r\n"),
+		{recordTypeHandshake, 3, 3, 0, 1, 99}, // handshake but not client hello
+	}
+	for i, c := range cases {
+		if _, err := SNI(c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestSNITruncationsRejectedOrEmpty(t *testing.T) {
+	rec := ClientHello("truncate.example", nil)
+	for cut := 1; cut < len(rec); cut++ {
+		name, err := SNI(rec[:cut])
+		if err == nil && name == "truncate.example" {
+			t.Fatalf("full SNI recovered from %d-byte truncation", cut)
+		}
+	}
+}
+
+// Property: round trip holds for arbitrary hostnames of reasonable length.
+func TestQuickSNIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(raw string) bool {
+		host := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r == '.' || r == '-' {
+				return r
+			}
+			return -1
+		}, strings.ToLower(raw))
+		if host == "" || len(host) > 200 {
+			return true
+		}
+		got, err := SNI(ClientHello(host, rng))
+		return err == nil && got == host
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package v6lab reproduces "IoT Bricks Over v6: Understanding IPv6 Usage
+// in Smart Homes" (IMC 2024) end to end on a simulated smart-home testbed:
+// 93 modelled consumer IoT devices behind a dnsmasq-style home router run
+// the paper's six connectivity experiments, every LAN frame is captured in
+// pcap form, and the paper's analysis pipeline re-derives each table and
+// figure of the evaluation from those captures.
+//
+// Quick start:
+//
+//	lab := v6lab.New()
+//	if err := lab.Run(); err != nil { ... }
+//	fmt.Print(lab.Report(v6lab.Table3))
+package v6lab
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"v6lab/internal/analysis"
+	"v6lab/internal/experiment"
+	"v6lab/internal/report"
+)
+
+// Artifact names one of the paper's tables or figures.
+type Artifact string
+
+// The reproducible artifacts.
+const (
+	Table3   Artifact = "table3"
+	Table4   Artifact = "table4"
+	Table5   Artifact = "table5"
+	Table6   Artifact = "table6"
+	Table7   Artifact = "table7"
+	Table8   Artifact = "table8"
+	Table9   Artifact = "table9"
+	Table10  Artifact = "table10"
+	Table12  Artifact = "table12"
+	Table13  Artifact = "table13"
+	Figure2  Artifact = "figure2"
+	Figure3  Artifact = "figure3"
+	Figure4  Artifact = "figure4"
+	Figure5  Artifact = "figure5"
+	DADAudit Artifact = "dad"
+	// FuncMatrix extends the paper: functionality per experiment variant.
+	FuncMatrix Artifact = "functional-matrix"
+	Ports      Artifact = "ports"
+	Tracking   Artifact = "tracking"
+)
+
+// Artifacts lists every artifact in report order.
+var Artifacts = []Artifact{
+	Table3, Figure2, Table4, Table5, Table6, Figure3, Figure4, Table7,
+	Table8, Table9, Table10, Table12, Table13, Figure5, DADAudit, Ports, Tracking,
+	FuncMatrix,
+}
+
+// Lab is the top-level handle: a configured study plus, after Run, the
+// analyzed dataset.
+type Lab struct {
+	Study *experiment.Study
+	Data  *analysis.Dataset
+}
+
+// New builds the testbed (devices, workload plans, simulated cloud).
+func New() *Lab {
+	return &Lab{Study: experiment.NewStudy()}
+}
+
+// Run executes the six connectivity experiments, the active DNS queries,
+// and the port scans, then runs the analysis pipeline over the captures.
+func (l *Lab) Run() error {
+	if err := l.Study.RunAll(); err != nil {
+		return err
+	}
+	l.Data = analysis.FromStudy(l.Study)
+	return nil
+}
+
+// ensure panics helpfully when Report is called before Run.
+func (l *Lab) ensure() {
+	if l.Data == nil {
+		panic("v6lab: call Run before Report")
+	}
+}
+
+// Report renders one artifact as text, side by side with the paper's
+// published values.
+func (l *Lab) Report(a Artifact) string {
+	l.ensure()
+	ds := l.Data
+	switch a {
+	case Table3:
+		return report.Table3(ds.Table3())
+	case Figure2:
+		return report.Figure2(ds.Table3())
+	case Table4:
+		return report.Table4(ds.Table4())
+	case Table5:
+		return report.Table5(ds.Table5())
+	case Table6:
+		return report.Table6(ds.Table6())
+	case Table7:
+		f, n, mf, mn := ds.Table7(3)
+		return report.Table7(f, n, mf, mn)
+	case Table8:
+		out := report.Groups("Table 8 — feature support by manufacturer (>=3 devices)", ds.GroupBy("manufacturer", 3))
+		return out + report.Groups("Table 8 (cont.) — by OS (>=2 devices)", ds.GroupBy("os", 2))
+	case Table9:
+		return report.Table9(ds.Table9())
+	case Table10:
+		return report.Table10(ds)
+	case Table12:
+		return report.Groups("Table 12 — feature support by purchase year", ds.GroupBy("year", 1))
+	case Table13:
+		return report.Table13(ds.GroupBy("manufacturer", 3))
+	case Figure3:
+		return report.Figure3(ds.Figure3())
+	case Figure4:
+		return report.Figure4(ds.Figure4())
+	case Figure5:
+		return report.Figure5(ds.EUI64Exposure())
+	case DADAudit:
+		return report.DAD(ds.DADAudit())
+	case Ports:
+		return report.PortScan(l.Study.Scan)
+	case Tracking:
+		return report.Tracking(ds.Tracking())
+	case FuncMatrix:
+		var names []string
+		for _, p := range ds.Profiles {
+			names = append(names, p.Name)
+		}
+		return report.FunctionalMatrix(ds.Exps, names)
+	}
+	return fmt.Sprintf("unknown artifact %q\n", a)
+}
+
+// FullReport renders every artifact.
+func (l *Lab) FullReport() string {
+	l.ensure()
+	out := ""
+	for _, a := range Artifacts {
+		out += l.Report(a) + "\n"
+	}
+	return out
+}
+
+// ExportCSV writes plot-ready CSV series (the Figure 2 funnel, Figure 3
+// CDFs, and Figure 4 volume shares) into dir.
+func (l *Lab) ExportCSV(dir string) error {
+	l.ensure()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cdfs := l.Data.Figure3()
+	files := map[string]string{
+		"funnel.csv":      report.CSVFunnel(l.Data.Table3()),
+		"volume.csv":      report.CSVVolumeShares(l.Data.Figure4()),
+		"cdf_addrs.csv":   report.CSVCDF(cdfs.AddrsPerDevice),
+		"cdf_queries.csv": report.CSVCDF(cdfs.AAAANamesPerDevice),
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SavePcaps writes one pcap file per connectivity experiment into dir.
+func (l *Lab) SavePcaps(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, res := range l.Study.Results {
+		path := filepath.Join(dir, res.Config.ID+".pcap")
+		if err := res.Capture.Save(path); err != nil {
+			return fmt.Errorf("saving %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package v6lab
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"v6lab/internal/paper"
+)
+
+func sharedLab(t *testing.T) *Lab {
+	t.Helper()
+	benchOnce.Do(func() {
+		benchLab = New()
+		benchErr = benchLab.Run()
+	})
+	if benchErr != nil {
+		t.Fatal(benchErr)
+	}
+	return benchLab
+}
+
+func TestEveryArtifactRenders(t *testing.T) {
+	lab := sharedLab(t)
+	for _, a := range Artifacts {
+		out := lab.Report(a)
+		if len(out) < 40 {
+			t.Errorf("artifact %s: suspiciously short output %q", a, out)
+		}
+	}
+	if full := lab.FullReport(); len(full) < 4000 {
+		t.Errorf("full report only %d bytes", len(full))
+	}
+}
+
+// TestHeadlineNumbers checks the abstract's percentages end to end.
+func TestHeadlineNumbers(t *testing.T) {
+	lab := sharedLab(t)
+	f := lab.Data.Table3()
+	pct := func(v paper.Vec) float64 { return math.Round(1000*float64(v.Total())/93) / 10 }
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"IPv6 traffic", pct(f.NDP), paper.Headline.PctV6Traffic},
+		{"assign address", pct(f.Addr), 54.8}, // 51/93; the abstract's 53.8 counts 50
+		{"AAAA in IPv6", pct(f.DNSAAAAReq), paper.Headline.PctAAAAInV6},
+		{"Internet IPv6 data", pct(f.InternetData), paper.Headline.PctInternetV6},
+		{"functional", pct(f.Functional), paper.Headline.PctFunctional},
+	}
+	for _, tc := range cases {
+		if math.Abs(tc.got-tc.want) > 1.2 {
+			t.Errorf("%s = %.1f%%, want %.1f%%", tc.name, tc.got, tc.want)
+		}
+	}
+	// 16.1% of devices use EUI-64 global addresses.
+	r := lab.Data.EUI64Exposure()
+	if got := math.Round(1000*float64(r.Use)/93) / 10; math.Abs(got-paper.Headline.PctEUI64) > 0.5 {
+		t.Errorf("EUI-64 use = %.1f%%, want %.1f%%", got, paper.Headline.PctEUI64)
+	}
+}
+
+func TestSavePcaps(t *testing.T) {
+	lab := sharedLab(t)
+	dir := t.TempDir()
+	if err := lab.SavePcaps(dir); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 6 {
+		t.Fatalf("pcap files = %d, want 6", len(matches))
+	}
+}
+
+func TestReportBeforeRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	New().Report(Table3)
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full run in -short mode")
+	}
+	a := sharedLab(t)
+	b := New()
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, art := range []Artifact{Table3, Table5, Table9, Figure5} {
+		ra, rb := a.Report(art), b.Report(art)
+		if ra != rb {
+			t.Errorf("artifact %s differs between runs:\n%s\nvs\n%s", art, head(ra), head(rb))
+		}
+	}
+}
+
+func head(s string) string {
+	lines := strings.SplitN(s, "\n", 6)
+	return strings.Join(lines, "\n")
+}
+
+func TestExportCSV(t *testing.T) {
+	lab := sharedLab(t)
+	dir := t.TempDir()
+	if err := lab.ExportCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"funnel.csv", "volume.csv", "cdf_addrs.csv", "cdf_queries.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 3 {
+			t.Errorf("%s: too few rows", name)
+		}
+	}
+}
