@@ -3,20 +3,27 @@
 //
 // Usage:
 //
-//	v6lab [-artifact table3] [-pcap-dir captures/] [-list]
+//	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare] [-list]
 //
-// Without -artifact, every artifact is printed in report order.
+// Without -artifact, every artifact is printed in report order. The
+// command takes no positional arguments; unknown flags or arguments exit
+// non-zero with a usage message.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"v6lab"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	artifact := flag.String("artifact", "", "render a single artifact (e.g. table3, figure5); empty = all")
 	pcapDir := flag.String("pcap-dir", "", "write one pcap file per connectivity experiment into this directory")
 	csvDir := flag.String("csv-dir", "", "write plot-ready CSV series into this directory")
@@ -24,13 +31,41 @@ func main() {
 	privacyExt := flag.Bool("privacy-ext", false, "ablation: force RFC 8981 privacy extensions on every device")
 	forceDAD := flag.Bool("force-dad", false, "ablation: force RFC 4862 DAD compliance on every device")
 	aaaaEverywhere := flag.Bool("aaaa-everywhere", false, "ablation: publish AAAA records for every destination")
+	fwPolicy := flag.String("firewall", "", "re-run the §5.4.2 scan from a WAN vantage under an inbound-IPv6 policy: open|stateful|pinhole, or compare for all three")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "v6lab: unknown argument %q (the command takes no subcommands)\n", flag.Arg(0))
+		flag.Usage()
+		return 2
+	}
 
 	if *list {
 		for _, a := range v6lab.Artifacts {
 			fmt.Println(a)
 		}
-		return
+		return 0
+	}
+
+	if *artifact != "" && !knownArtifact(*artifact) {
+		fmt.Fprintf(os.Stderr, "v6lab: unknown artifact %q; known artifacts:\n", *artifact)
+		for _, a := range v6lab.Artifacts {
+			fmt.Fprintf(os.Stderr, "  %s\n", a)
+		}
+		return 2
+	}
+
+	var fwPolicies []string
+	switch strings.ToLower(*fwPolicy) {
+	case "":
+		// No firewall comparison.
+	case "compare", "all":
+		// Empty list = all default policies.
+	case "open", "stateful", "pinhole":
+		fwPolicies = []string{*fwPolicy}
+	default:
+		fmt.Fprintf(os.Stderr, "v6lab: unknown firewall policy %q (want open|stateful|pinhole|compare)\n", *fwPolicy)
+		return 2
 	}
 
 	lab := v6lab.NewWithOptions(v6lab.Options{
@@ -41,30 +76,47 @@ func main() {
 	fmt.Fprintln(os.Stderr, "running the six connectivity experiments, active DNS queries, and port scans...")
 	if err := lab.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return 1
 	}
 	for _, res := range lab.Study.Results {
 		fmt.Fprintf(os.Stderr, "  %-22s %6d frames captured\n", res.Config.ID, res.Capture.Len())
+	}
+	if *fwPolicy != "" {
+		fmt.Fprintln(os.Stderr, "running the WAN-vantage firewall policy comparison...")
+		if err := lab.RunFirewallComparison(fwPolicies...); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
 	}
 
 	if *pcapDir != "" {
 		if err := lab.SavePcaps(*pcapDir); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "pcaps written to %s\n", *pcapDir)
 	}
 	if *csvDir != "" {
 		if err := lab.ExportCSV(*csvDir); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *csvDir)
 	}
 
 	if *artifact != "" {
 		fmt.Print(lab.Report(v6lab.Artifact(*artifact)))
-		return
+		return 0
 	}
 	fmt.Print(lab.FullReport())
+	return 0
+}
+
+func knownArtifact(name string) bool {
+	for _, a := range v6lab.Artifacts {
+		if string(a) == name {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,67 @@
+package conntrack
+
+import (
+	"testing"
+	"time"
+
+	"v6lab/internal/netsim"
+	"v6lab/internal/packet"
+)
+
+// benchKeys builds n distinct established-flow keys.
+func benchKeys(n int) []FlowKey {
+	keys := make([]FlowKey, n)
+	for i := range keys {
+		keys[i] = tcpKey(devAddr, cloudAddr, uint16(1024+i%60000), uint16(443+i/60000))
+	}
+	return keys
+}
+
+// BenchmarkLookupHot measures the firewall fast path: an inbound packet
+// matching established state (sweep + reverse lookup + touch).
+func BenchmarkLookupHot(b *testing.B) {
+	clock := netsim.NewClock(time.Unix(0, 0))
+	tb := New(clock, Config{MaxFlows: 1 << 16})
+	keys := benchKeys(1024)
+	for _, k := range keys {
+		tb.Outbound(k, packet.TCPFlagSYN)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tb.Inbound(keys[i%len(keys)].Reverse(), 0) == nil {
+			b.Fatal("flow missing")
+		}
+	}
+}
+
+// BenchmarkOutboundChurn measures insert + LRU-evict under a full table,
+// the regime a WAN scan pushes the router into.
+func BenchmarkOutboundChurn(b *testing.B) {
+	clock := netsim.NewClock(time.Unix(0, 0))
+	tb := New(clock, Config{MaxFlows: 4096})
+	keys := benchKeys(1 << 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Outbound(keys[i%len(keys)], packet.TCPFlagSYN)
+	}
+}
+
+// BenchmarkExpirySweep10k measures a wheel sweep expiring 10k flows after
+// an idle gap.
+func BenchmarkExpirySweep10k(b *testing.B) {
+	keys := benchKeys(10_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clock := netsim.NewClock(time.Unix(0, 0))
+		tb := New(clock, Config{MaxFlows: 1 << 16, NewTimeout: 30 * time.Second})
+		for _, k := range keys {
+			tb.Outbound(k, packet.TCPFlagSYN)
+		}
+		clock.Advance(time.Minute)
+		b.StartTimer()
+		if n := tb.Sweep(); n != len(keys) {
+			b.Fatalf("swept %d, want %d", n, len(keys))
+		}
+	}
+}

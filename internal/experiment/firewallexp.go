@@ -1,0 +1,232 @@
+package experiment
+
+import (
+	"net/netip"
+	"sort"
+
+	"v6lab/internal/addr"
+	"v6lab/internal/conntrack"
+	"v6lab/internal/device"
+	"v6lab/internal/firewall"
+	"v6lab/internal/netsim"
+	"v6lab/internal/packet"
+	"v6lab/internal/router"
+)
+
+// WANScannerV6 is the remote vantage the firewall-exposure experiment
+// scans from: an Internet host outside the testbed's routed /64, standing
+// in for the §6 attacker who learned (or guessed) device addresses.
+var WANScannerV6 = netip.MustParseAddr("2001:db8::5ca9")
+
+// PolicyExposure summarises the WAN-vantage §5.4.2 re-scan under one
+// inbound-IPv6 firewall policy.
+type PolicyExposure struct {
+	Policy string
+	// Pinholes lists the static rules, for pinhole policies.
+	Pinholes []string
+
+	// DevicesProbed counts devices holding at least one routable GUA;
+	// AddrsProbed the scanned addresses.
+	DevicesProbed, AddrsProbed int
+	// DevicesReachable and PortsReachable count devices answering at
+	// least one probe and distinct (device, port) pairs answering.
+	DevicesReachable, PortsReachable int
+	// OpenByDevice maps device name to the inbound-reachable ports.
+	OpenByDevice map[string][]uint16
+
+	// FunctionalDevices counts devices whose outbound cloud workload
+	// still completed under this policy (it must not regress: egress and
+	// return traffic are never filtered).
+	FunctionalDevices int
+
+	// Firewall and conntrack counters at the end of the run.
+	FW    firewall.Stats
+	Flows int
+	CT    conntrack.Stats
+}
+
+// FirewallReport is the policy-comparison experiment's result.
+type FirewallReport struct {
+	// Ports is the probe list (the §5.4.2 deterministic port set).
+	Ports []uint16
+	// Policies holds one exposure row per policy, in run order.
+	Policies []PolicyExposure
+}
+
+// Exposure returns the row for a policy name, or nil.
+func (r *FirewallReport) Exposure(policy string) *PolicyExposure {
+	for i := range r.Policies {
+		if r.Policies[i].Policy == policy {
+			return &r.Policies[i]
+		}
+	}
+	return nil
+}
+
+// DefaultPinholes models the holes a PCP/UPnP-speaking device (or a user
+// forwarding ports by hand) would punch: one TCP rule per service port
+// that any device exposes over IPv6 only — in the testbed, the Samsung
+// Fridge's three high ports, the paper's one v6-only exposure.
+func DefaultPinholes(profiles []*device.Profile) []firewall.Rule {
+	seen := map[uint16]bool{}
+	var rules []firewall.Rule
+	for _, p := range profiles {
+		for _, port := range diffPorts(p.OpenTCPv6, p.OpenTCPv4) {
+			if !seen[port] {
+				seen[port] = true
+				rules = append(rules, firewall.Rule{Prefix: router.GUAPrefix, Proto: packet.IPProtocolTCP, Port: port})
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Port < rules[j].Port })
+	return rules
+}
+
+// DefaultFirewallPolicies returns the three policies the comparison mode
+// runs: the paper's open router, RFC 6092 stateful default-deny, and
+// default-deny with the testbed's default pinholes.
+func DefaultFirewallPolicies(profiles []*device.Profile) []firewall.Policy {
+	return []firewall.Policy{
+		firewall.Open{},
+		firewall.StatefulDefaultDeny{},
+		firewall.Pinhole{Rules: DefaultPinholes(profiles)},
+	}
+}
+
+// RunFirewallExposure re-runs the §5.4.2 port scan from a WAN vantage
+// under each policy: every probe must traverse the router's inbound
+// firewall instead of being switched on-LAN. Each policy gets a fresh
+// boot of the dual-stack network, a full workload pass (so conntrack
+// holds the devices' outbound flows), then a SYN sweep of every routable
+// GUA the router's neighbor table knows.
+func (st *Study) RunFirewallExposure(policies []firewall.Policy) (*FirewallReport, error) {
+	ports := probePorts(st.Profiles)
+	rep := &FirewallReport{Ports: ports}
+	for _, pol := range policies {
+		pe, err := st.runExposure(pol, ports)
+		if err != nil {
+			return nil, err
+		}
+		rep.Policies = append(rep.Policies, *pe)
+	}
+	return rep, nil
+}
+
+func (st *Study) runExposure(pol firewall.Policy, ports []uint16) (*PolicyExposure, error) {
+	net := netsim.NewNetwork(st.Clock)
+	cfg := Configs[len(Configs)-1] // dual-stack (stateful), as in RunPortScan
+	rt := router.New(cfg.Router, st.Cloud)
+	fw := firewall.New(pol, st.Clock, conntrack.DefaultConfig())
+	rt.SetFirewall(fw)
+	rt.Attach(net)
+	for _, s := range st.Stacks {
+		s.Attach(net)
+		s.Reset(cfg.Mode, cfg.V6Seq)
+	}
+	rt.SendRouterAdvert()
+	for _, s := range st.Stacks {
+		s.Boot()
+	}
+	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+		return nil, err
+	}
+	for _, s := range st.Stacks {
+		s.Announce()
+	}
+	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+		return nil, err
+	}
+	for _, s := range st.Stacks {
+		s.RunWorkload(st.Cloud)
+	}
+	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+		return nil, err
+	}
+
+	pe := &PolicyExposure{Policy: pol.Name(), OpenByDevice: map[string][]uint16{}}
+	if ph, ok := pol.(firewall.Pinhole); ok {
+		for _, r := range ph.Rules {
+			pe.Pinholes = append(pe.Pinholes, r.String())
+		}
+	}
+	for _, s := range st.Stacks {
+		if s.Functional() {
+			pe.FunctionalDevices++
+		}
+	}
+
+	// Target list: every routable GUA in the neighbor table, attributed
+	// back to its device, in deterministic address order.
+	type target struct {
+		addr netip.Addr
+		dev  string
+	}
+	var targets []target
+	addrDev := map[netip.Addr]string{}
+	probedDevs := map[string]bool{}
+	for a, m := range rt.Neighbors {
+		if addr.Classify(a) != addr.KindGUA || !router.GUAPrefix.Contains(a) {
+			continue
+		}
+		prof := st.MACToDevice[m]
+		if prof == nil {
+			continue
+		}
+		targets = append(targets, target{addr: a, dev: prof.Name})
+		addrDev[a] = prof.Name
+		probedDevs[prof.Name] = true
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].addr.Less(targets[j].addr) })
+	pe.AddrsProbed = len(targets)
+	pe.DevicesProbed = len(probedDevs)
+
+	// The WAN tap plays the scanner: it consumes packets addressed to the
+	// vantage and records SYN-ACKs as open (device, port) findings.
+	open := map[string]map[uint16]bool{}
+	rt.WANv6Tap = func(raw []byte) bool {
+		rp := packet.ParseIP(raw)
+		if rp.Err != nil || rp.IPv6 == nil || rp.IPv6.Dst != WANScannerV6 {
+			return false
+		}
+		if rp.TCP != nil && rp.TCP.HasFlag(packet.TCPFlagSYN|packet.TCPFlagACK) {
+			if dev := addrDev[rp.IPv6.Src]; dev != "" {
+				if open[dev] == nil {
+					open[dev] = map[uint16]bool{}
+				}
+				open[dev][rp.TCP.SrcPort] = true
+			}
+		}
+		return true // scanner traffic never reaches the simulated cloud
+	}
+	defer func() { rt.WANv6Tap = nil }()
+
+	for _, tgt := range targets {
+		for i, dport := range ports {
+			raw, err := packet.Serialize(
+				&packet.IPv6{NextHeader: packet.IPProtocolTCP, HopLimit: 64, Src: WANScannerV6, Dst: tgt.addr},
+				&packet.TCP{SrcPort: uint16(40000 + i), DstPort: dport, Seq: 9, Flags: packet.TCPFlagSYN, Src: WANScannerV6, Dst: tgt.addr})
+			if err != nil {
+				return nil, err
+			}
+			rt.InjectWANv6(raw)
+		}
+		if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+			return nil, err
+		}
+	}
+
+	for dev, set := range open {
+		var list []uint16
+		for p := range set {
+			list = append(list, p)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		pe.OpenByDevice[dev] = list
+		pe.DevicesReachable++
+		pe.PortsReachable += len(list)
+	}
+	pe.FW = fw.Stats()
+	pe.Flows = fw.Table.Len()
+	pe.CT = fw.Table.Stats()
+	return pe, nil
+}

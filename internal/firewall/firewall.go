@@ -1,0 +1,182 @@
+// Package firewall implements the home router's inbound-IPv6 policy — the
+// countermeasure space the paper's §5.4.2/§6 security analysis motivates.
+// NAT44 incidentally shields IPv4 devices from unsolicited Internet
+// traffic; a routed IPv6 /64 has no such side effect, so whatever inbound
+// filtering the gateway applies is the only thing between a smart-home
+// device's open ports and the IPv6 Internet.
+//
+// Three policies are provided:
+//
+//   - Open: no inbound filtering at all — the paper's testbed router and
+//     the common "IPv6 firewall off" consumer default.
+//   - StatefulDefaultDeny: RFC 6092 simple security — only return traffic
+//     of flows originated on the LAN passes, everything unsolicited drops.
+//   - Pinhole: stateful default-deny plus static allow rules, modelling
+//     the holes PCP/UPnP-style protocols (or manual port forwarding)
+//     punch for specific devices and ports.
+//
+// The Firewall pairs a policy with a conntrack.Table and keeps allow/drop
+// counters the exposure experiment reports.
+package firewall
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"v6lab/internal/conntrack"
+	"v6lab/internal/packet"
+)
+
+// Policy decides the fate of unsolicited inbound flows; the stateful
+// return-traffic fast path is shared by every policy and lives in
+// Firewall.Inbound.
+type Policy interface {
+	// Name is the CLI-facing policy identifier.
+	Name() string
+	// AllowUnsolicited reports whether an inbound flow with no conntrack
+	// state may pass. key is oriented as the inbound packet (Dst is the
+	// LAN device).
+	AllowUnsolicited(key conntrack.FlowKey) bool
+}
+
+// Open admits everything — the paper's measured configuration.
+type Open struct{}
+
+// Name implements Policy.
+func (Open) Name() string { return "open" }
+
+// AllowUnsolicited implements Policy.
+func (Open) AllowUnsolicited(conntrack.FlowKey) bool { return true }
+
+// StatefulDefaultDeny admits nothing unsolicited (RFC 6092 REC-11).
+type StatefulDefaultDeny struct{}
+
+// Name implements Policy.
+func (StatefulDefaultDeny) Name() string { return "stateful" }
+
+// AllowUnsolicited implements Policy.
+func (StatefulDefaultDeny) AllowUnsolicited(conntrack.FlowKey) bool { return false }
+
+// Rule is one static pinhole: inbound flows whose destination address
+// falls in Prefix, whose protocol matches Proto, and whose destination
+// port matches Port (0 = any) are admitted.
+type Rule struct {
+	Prefix netip.Prefix
+	Proto  packet.IPProtocol
+	Port   uint16
+}
+
+// Matches reports whether the inbound key falls through this pinhole.
+func (r Rule) Matches(key conntrack.FlowKey) bool {
+	if r.Proto != key.Proto {
+		return false
+	}
+	if r.Port != 0 && r.Port != key.DstPort {
+		return false
+	}
+	return r.Prefix.Contains(key.Dst)
+}
+
+// String renders the rule for reports.
+func (r Rule) String() string {
+	port := "any"
+	if r.Port != 0 {
+		port = fmt.Sprint(r.Port)
+	}
+	return fmt.Sprintf("%v %s port %s", r.Proto, r.Prefix, port)
+}
+
+// Pinhole is stateful default-deny plus static allow rules.
+type Pinhole struct {
+	Rules []Rule
+}
+
+// Name implements Policy.
+func (Pinhole) Name() string { return "pinhole" }
+
+// AllowUnsolicited implements Policy.
+func (p Pinhole) AllowUnsolicited(key conntrack.FlowKey) bool {
+	for _, r := range p.Rules {
+		if r.Matches(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// PolicyNames lists the recognised policy identifiers in CLI order.
+var PolicyNames = []string{"open", "stateful", "pinhole"}
+
+// ByName resolves a policy identifier. The returned Pinhole carries no
+// rules; callers add the holes their scenario models.
+func ByName(name string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "open":
+		return Open{}, nil
+	case "stateful", "stateful-default-deny", "deny":
+		return StatefulDefaultDeny{}, nil
+	case "pinhole":
+		return Pinhole{}, nil
+	}
+	return nil, fmt.Errorf("firewall: unknown policy %q (want %s)", name, strings.Join(PolicyNames, "|"))
+}
+
+// Stats counts the firewall's decisions over its lifetime.
+type Stats struct {
+	// PassedOut counts LAN→WAN packets recorded as originating flows.
+	PassedOut uint64
+	// AllowedByState counts inbound packets admitted as return traffic of
+	// tracked flows; AllowedByPolicy counts unsolicited packets the
+	// policy admitted; DroppedIn counts inbound packets rejected.
+	AllowedByState, AllowedByPolicy, DroppedIn uint64
+}
+
+// AllowedIn is the total of inbound packets admitted.
+func (s Stats) AllowedIn() uint64 { return s.AllowedByState + s.AllowedByPolicy }
+
+// Firewall applies an inbound policy over a conntrack table.
+type Firewall struct {
+	policy Policy
+	// Table is the flow state the stateful fast path consults; exported
+	// so experiments can report its counters.
+	Table *conntrack.Table
+	stats Stats
+}
+
+// New builds a firewall with its own conntrack table on the given clock.
+func New(p Policy, clock conntrack.Clock, cfg conntrack.Config) *Firewall {
+	return &Firewall{policy: p, Table: conntrack.New(clock, cfg)}
+}
+
+// Policy returns the active policy.
+func (f *Firewall) Policy() Policy { return f.policy }
+
+// Stats returns a copy of the decision counters.
+func (f *Firewall) Stats() Stats { return f.stats }
+
+// Outbound records a LAN→WAN packet, establishing the state its return
+// traffic will match. Egress is never filtered (the paper's router
+// forwards all outbound traffic; so do consumer defaults).
+func (f *Firewall) Outbound(key conntrack.FlowKey, tcpFlags uint8) {
+	f.stats.PassedOut++
+	f.Table.Outbound(key, tcpFlags)
+}
+
+// Inbound decides one WAN→LAN packet: return traffic of tracked flows
+// always passes; anything unsolicited passes only if the policy admits
+// it, in which case the flow is tracked so its follow-up segments match
+// statefully. key is oriented as the inbound packet.
+func (f *Firewall) Inbound(key conntrack.FlowKey, tcpFlags uint8) bool {
+	if f.Table.Inbound(key, tcpFlags) != nil {
+		f.stats.AllowedByState++
+		return true
+	}
+	if f.policy.AllowUnsolicited(key) {
+		f.stats.AllowedByPolicy++
+		f.Table.Track(key, tcpFlags)
+		return true
+	}
+	f.stats.DroppedIn++
+	return false
+}

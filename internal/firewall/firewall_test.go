@@ -1,0 +1,138 @@
+package firewall
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"v6lab/internal/conntrack"
+	"v6lab/internal/netsim"
+	"v6lab/internal/packet"
+)
+
+var (
+	devAddr  = netip.MustParseAddr("2001:470:8:100::10")
+	svcAddr  = netip.MustParseAddr("2606:4700:10::1")
+	scanAddr = netip.MustParseAddr("2001:db8::bad")
+	lanPfx   = netip.MustParsePrefix("2001:470:8:100::/64")
+)
+
+func newFW(p Policy) (*netsim.Clock, *Firewall) {
+	clock := netsim.NewClock(time.Date(2024, 4, 5, 9, 0, 0, 0, time.UTC))
+	return clock, New(p, clock, conntrack.DefaultConfig())
+}
+
+func outKey(sport, dport uint16) conntrack.FlowKey {
+	return conntrack.FlowKey{Proto: packet.IPProtocolTCP, Src: devAddr, Dst: svcAddr, SrcPort: sport, DstPort: dport}
+}
+
+func probeKey(dport uint16) conntrack.FlowKey {
+	return conntrack.FlowKey{Proto: packet.IPProtocolTCP, Src: scanAddr, Dst: devAddr, SrcPort: 55555, DstPort: dport}
+}
+
+func TestPoliciesOnUnsolicitedProbe(t *testing.T) {
+	probe := probeKey(8080)
+	tests := []struct {
+		policy Policy
+		want   bool
+	}{
+		{Open{}, true},
+		{StatefulDefaultDeny{}, false},
+		{Pinhole{}, false},
+		{Pinhole{Rules: []Rule{{Prefix: lanPfx, Proto: packet.IPProtocolTCP, Port: 8080}}}, true},
+		{Pinhole{Rules: []Rule{{Prefix: lanPfx, Proto: packet.IPProtocolTCP, Port: 22}}}, false},
+		{Pinhole{Rules: []Rule{{Prefix: lanPfx, Proto: packet.IPProtocolUDP, Port: 8080}}}, false},
+		{Pinhole{Rules: []Rule{{Prefix: lanPfx, Proto: packet.IPProtocolTCP}}}, true}, // port 0 = any
+		{Pinhole{Rules: []Rule{{Prefix: netip.MustParsePrefix("2001:470:8:200::/64"), Proto: packet.IPProtocolTCP, Port: 8080}}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.policy.Name(), func(t *testing.T) {
+			_, fw := newFW(tc.policy)
+			if got := fw.Inbound(probe, packet.TCPFlagSYN); got != tc.want {
+				t.Fatalf("Inbound(probe) under %T%+v = %v, want %v", tc.policy, tc.policy, got, tc.want)
+			}
+			st := fw.Stats()
+			if tc.want && st.AllowedByPolicy != 1 {
+				t.Fatalf("stats = %+v, want one policy allow", st)
+			}
+			if !tc.want && st.DroppedIn != 1 {
+				t.Fatalf("stats = %+v, want one drop", st)
+			}
+		})
+	}
+}
+
+func TestReturnTrafficPassesEveryPolicy(t *testing.T) {
+	for _, pol := range []Policy{Open{}, StatefulDefaultDeny{}, Pinhole{}} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			_, fw := newFW(pol)
+			k := outKey(40000, 443)
+			fw.Outbound(k, packet.TCPFlagSYN)
+			if !fw.Inbound(k.Reverse(), packet.TCPFlagSYN|packet.TCPFlagACK) {
+				t.Fatal("return traffic dropped")
+			}
+			st := fw.Stats()
+			if st.AllowedByState != 1 || st.PassedOut != 1 || st.DroppedIn != 0 {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestStatefulDropsAfterExpiry(t *testing.T) {
+	clock, fw := newFW(StatefulDefaultDeny{})
+	k := outKey(40000, 443)
+	fw.Outbound(k, packet.TCPFlagSYN)
+	// NEW-state flow idles out; late "replies" are unsolicited again.
+	clock.Advance(fw.Table.Config().NewTimeout + time.Minute)
+	if fw.Inbound(k.Reverse(), packet.TCPFlagACK) {
+		t.Fatal("reply admitted after state expired")
+	}
+}
+
+func TestPinholeTracksAdmittedFlow(t *testing.T) {
+	_, fw := newFW(Pinhole{Rules: []Rule{{Prefix: lanPfx, Proto: packet.IPProtocolTCP, Port: 8080}}})
+	probe := probeKey(8080)
+	if !fw.Inbound(probe, packet.TCPFlagSYN) {
+		t.Fatal("pinholed SYN dropped")
+	}
+	// Follow-up segments of the admitted flow match state, not the rule
+	// list: stats must show a state hit.
+	if !fw.Inbound(probe, packet.TCPFlagACK) {
+		t.Fatal("follow-up segment dropped")
+	}
+	st := fw.Stats()
+	if st.AllowedByPolicy != 1 || st.AllowedByState != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AllowedIn() != 2 {
+		t.Fatalf("AllowedIn = %d, want 2", st.AllowedIn())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, wantName := range map[string]string{
+		"open": "open", "Open": "open",
+		"stateful": "stateful", "stateful-default-deny": "stateful", "deny": "stateful",
+		"pinhole": "pinhole", " pinhole ": "pinhole",
+	} {
+		p, err := ByName(name)
+		if err != nil || p.Name() != wantName {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Prefix: lanPfx, Proto: packet.IPProtocolTCP, Port: 8080}
+	if s := r.String(); s == "" {
+		t.Fatal("empty rule string")
+	}
+	anyPort := Rule{Prefix: lanPfx, Proto: packet.IPProtocolTCP}
+	if s := anyPort.String(); s == "" {
+		t.Fatal("empty rule string")
+	}
+}

@@ -1,0 +1,110 @@
+package paper
+
+import "testing"
+
+func TestVecTotal(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Vec
+		want int
+	}{
+		{"zero", Vec{}, 0},
+		{"ones", Vec{1, 1, 1, 1, 1, 1, 1}, 7},
+		{"devices", DevicesPerCategory, 93},
+		{"functional", Table3.Functional, 8},
+	}
+	for _, c := range cases {
+		if got := c.v.Total(); got != c.want {
+			t.Errorf("%s: Total() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCategoryOrderMatchesNumCategories(t *testing.T) {
+	if len(CategoryOrder) != NumCategories {
+		t.Fatalf("len(CategoryOrder) = %d, want %d", len(CategoryOrder), NumCategories)
+	}
+	seen := map[string]bool{}
+	for _, c := range CategoryOrder {
+		if c == "" || seen[c] {
+			t.Errorf("category %q empty or duplicated", c)
+		}
+		seen[c] = true
+	}
+}
+
+// TestTable3Funnel checks internal consistency of the IPv6-only feature
+// funnel: every stage is a subset of the devices, and the paper's headline
+// counts fall out of the vectors.
+func TestTable3Funnel(t *testing.T) {
+	for name, v := range map[string]Vec{
+		"NoIPv6": Table3.NoIPv6, "NDP": Table3.NDP, "Addr": Table3.Addr,
+		"GUA": Table3.GUA, "InternetData": Table3.InternetData,
+		"Functional": Table3.Functional,
+	} {
+		for i, x := range v {
+			if x < 0 || x > DevicesPerCategory[i] {
+				t.Errorf("Table3.%s[%s] = %d outside [0, %d]",
+					name, CategoryOrder[i], x, DevicesPerCategory[i])
+			}
+		}
+	}
+	if Table3.Functional.Total() != 8 {
+		t.Errorf("functional devices = %d, want 8", Table3.Functional.Total())
+	}
+	// The funnel narrows: NDP ≥ Addr ≥ GUA per category is not guaranteed
+	// column-wise in the paper (ULA-only devices), but Functional ⊆
+	// InternetData always holds.
+	for i := range Table3.Functional {
+		if Table3.Functional[i] > Table3.InternetData[i] {
+			t.Errorf("%s: functional %d > internet-data %d",
+				CategoryOrder[i], Table3.Functional[i], Table3.InternetData[i])
+		}
+	}
+}
+
+func TestHeadlinePercentagesMatchVectors(t *testing.T) {
+	devices := float64(DevicesPerCategory.Total())
+	pct := func(v Vec) float64 { return float64(v.Total()) / devices * 100 }
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"functional", pct(Table3.Functional), Headline.PctFunctional},
+	}
+	for _, c := range cases {
+		if diff := c.got - c.want; diff > 0.1 || diff < -0.1 {
+			t.Errorf("%s: %.1f%%, headline says %.1f%%", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestPortScanFridgePorts(t *testing.T) {
+	want := []uint16{37993, 46525, 46757}
+	if len(PortScan.FridgeV6OnlyPorts) != len(want) {
+		t.Fatalf("fridge ports = %v, want %v", PortScan.FridgeV6OnlyPorts, want)
+	}
+	for i, p := range want {
+		if PortScan.FridgeV6OnlyPorts[i] != p {
+			t.Fatalf("fridge ports = %v, want %v", PortScan.FridgeV6OnlyPorts, want)
+		}
+	}
+	// Ports must be sorted: the scan report and pinhole generator rely on it.
+	for i := 1; i < len(PortScan.FridgeV6OnlyPorts); i++ {
+		if PortScan.FridgeV6OnlyPorts[i-1] >= PortScan.FridgeV6OnlyPorts[i] {
+			t.Errorf("fridge ports not strictly ascending: %v", PortScan.FridgeV6OnlyPorts)
+		}
+	}
+}
+
+func TestDADCountsConsistent(t *testing.T) {
+	if DAD.DevicesNeverDAD > DAD.DevicesSkipping {
+		t.Errorf("never-DAD devices (%d) exceed devices skipping DAD (%d)",
+			DAD.DevicesNeverDAD, DAD.DevicesSkipping)
+	}
+	if DAD.GUAsNoDAD+DAD.ULAsNoDAD+DAD.LLAsNoDAD < DAD.DevicesSkipping {
+		t.Errorf("fewer DAD-skipped addresses (%d) than skipping devices (%d)",
+			DAD.GUAsNoDAD+DAD.ULAsNoDAD+DAD.LLAsNoDAD, DAD.DevicesSkipping)
+	}
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"v6lab/internal/experiment"
+)
+
+// FirewallExposure renders the policy-comparison table: the §5.4.2 scan
+// repeated from a WAN vantage under each inbound-IPv6 firewall policy.
+// The "open" row is the paper's measured world; the others quantify the
+// countermeasures §6 discusses.
+func FirewallExposure(r *experiment.FirewallReport) string {
+	var w strings.Builder
+	fmt.Fprintf(&w, "Firewall policy comparison — WAN-vantage IPv6 scan (§5.4.2 / §6)\n")
+	fmt.Fprintf(&w, "%d probe ports x per-policy GUA targets, scanned from %s\n",
+		len(r.Ports), experiment.WANScannerV6)
+	fmt.Fprintf(&w, "%-10s %7s %7s %7s %7s %9s %9s %7s %6s %6s\n",
+		"Policy", "DevPrb", "DevRch", "PortRch", "Func", "AllowIn", "DropIn", "Flows", "Evict", "Expir")
+	for _, pe := range r.Policies {
+		fmt.Fprintf(&w, "%-10s %7d %7d %7d %7d %9d %9d %7d %6d %6d\n",
+			pe.Policy, pe.DevicesProbed, pe.DevicesReachable, pe.PortsReachable,
+			pe.FunctionalDevices, pe.FW.AllowedIn(), pe.FW.DroppedIn,
+			pe.Flows, pe.CT.Evictions, pe.CT.Expiries)
+	}
+	for _, pe := range r.Policies {
+		if len(pe.Pinholes) > 0 {
+			fmt.Fprintf(&w, "pinholes (%s): %s\n", pe.Policy, strings.Join(pe.Pinholes, "; "))
+		}
+		if len(pe.OpenByDevice) == 0 {
+			continue
+		}
+		devs := make([]string, 0, len(pe.OpenByDevice))
+		for d := range pe.OpenByDevice {
+			devs = append(devs, d)
+		}
+		sort.Strings(devs)
+		fmt.Fprintf(&w, "reachable under %s:\n", pe.Policy)
+		for _, d := range devs {
+			fmt.Fprintf(&w, "  %-22s %v\n", d, pe.OpenByDevice[d])
+		}
+	}
+	return w.String()
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"v6lab/internal/conntrack"
+	"v6lab/internal/experiment"
+	"v6lab/internal/firewall"
+)
+
+func TestFirewallExposure(t *testing.T) {
+	rep := &experiment.FirewallReport{
+		Ports: []uint16{22, 80, 8080, 37993},
+		Policies: []experiment.PolicyExposure{
+			{
+				Policy: "open", DevicesProbed: 40, AddrsProbed: 120,
+				DevicesReachable: 12, PortsReachable: 30, FunctionalDevices: 91,
+				OpenByDevice: map[string][]uint16{
+					"Samsung Fridge": {8001, 8080, 37993},
+					"LG TV":          {8080},
+				},
+				FW:    firewall.Stats{AllowedByPolicy: 4000, AllowedByState: 500, DroppedIn: 0},
+				Flows: 2048,
+				CT:    conntrack.Stats{Evictions: 7, Expiries: 3},
+			},
+			{
+				Policy: "stateful", DevicesProbed: 40, AddrsProbed: 120,
+				DevicesReachable: 0, PortsReachable: 0, FunctionalDevices: 91,
+				OpenByDevice: map[string][]uint16{},
+				FW:           firewall.Stats{AllowedByState: 500, DroppedIn: 4500},
+			},
+			{
+				Policy: "pinhole", DevicesProbed: 40, AddrsProbed: 120,
+				DevicesReachable: 1, PortsReachable: 3, FunctionalDevices: 91,
+				Pinholes:     []string{"TCP 2001:470:8:100::/64 port 37993"},
+				OpenByDevice: map[string][]uint16{"Samsung Fridge": {37993}},
+				FW:           firewall.Stats{AllowedByPolicy: 3, AllowedByState: 500, DroppedIn: 4497},
+			},
+		},
+	}
+	out := FirewallExposure(rep)
+	for _, want := range []string{
+		"Firewall policy comparison",
+		"open", "stateful", "pinhole",
+		"Samsung Fridge",
+		"37993",
+		"pinholes (pinhole)",
+		"4 probe ports",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The stateful row must report zero reachable devices/ports.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "stateful") {
+			f := strings.Fields(line)
+			if f[2] != "0" || f[3] != "0" {
+				t.Errorf("stateful row not zero-exposure: %q", line)
+			}
+		}
+	}
+	// Reachable-device listings are sorted for determinism.
+	if strings.Index(out, "LG TV") > strings.Index(out, "Samsung Fridge") {
+		t.Error("device listing not sorted")
+	}
+}

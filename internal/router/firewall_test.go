@@ -1,0 +1,153 @@
+package router
+
+import (
+	"net/netip"
+	"testing"
+
+	"v6lab/internal/cloud"
+	"v6lab/internal/conntrack"
+	"v6lab/internal/firewall"
+	"v6lab/internal/packet"
+)
+
+var (
+	devGUA  = netip.MustParseAddr("2001:470:8:100::10")
+	wanScan = netip.MustParseAddr("2001:db8::5ca9")
+)
+
+// announceV6 teaches the router the device's GUA by sending any v6 frame
+// from it (the router learns neighbors from source addresses).
+func announceV6(t *testing.T, h *scriptHost) {
+	t.Helper()
+	send(t, h,
+		&packet.Ethernet{Dst: RouterMAC, Src: devMAC, Type: packet.EtherTypeIPv6},
+		&packet.IPv6{NextHeader: packet.IPProtocolUDP, HopLimit: 64, Src: devGUA, Dst: RouterGUA},
+		&packet.UDP{SrcPort: 1, DstPort: 1, Src: devGUA, Dst: RouterGUA})
+}
+
+func wanSYN(t *testing.T, dport uint16) []byte {
+	t.Helper()
+	raw, err := packet.Serialize(
+		&packet.IPv6{NextHeader: packet.IPProtocolTCP, HopLimit: 64, Src: wanScan, Dst: devGUA},
+		&packet.TCP{SrcPort: 55555, DstPort: dport, Seq: 9, Flags: packet.TCPFlagSYN, Src: wanScan, Dst: devGUA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func setupFW(t *testing.T, pol firewall.Policy) (*Router, *scriptHost, func()) {
+	t.Helper()
+	n, r, h, _ := setup(t, Config{IPv6: true})
+	r.SetFirewall(firewall.New(pol, n.Clock, conntrack.DefaultConfig()))
+	announceV6(t, h)
+	run(t, n)
+	h.rx = nil
+	return r, h, func() { run(t, n) }
+}
+
+func TestInjectWANv6OpenDelivers(t *testing.T) {
+	r, h, drain := setupFW(t, firewall.Open{})
+	r.InjectWANv6(wanSYN(t, 8080))
+	drain()
+	p := h.last()
+	if p == nil || p.TCP == nil || p.TCP.DstPort != 8080 || p.IPv6.Src != wanScan {
+		t.Fatalf("probe not delivered under open policy: %+v", p)
+	}
+	if st := r.FW.Stats(); st.AllowedByPolicy != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectWANv6StatefulDrops(t *testing.T) {
+	r, h, drain := setupFW(t, firewall.StatefulDefaultDeny{})
+	r.InjectWANv6(wanSYN(t, 8080))
+	drain()
+	if len(h.rx) != 0 {
+		t.Fatalf("probe leaked through default-deny: %+v", h.last())
+	}
+	if st := r.FW.Stats(); st.DroppedIn != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectWANv6PinholeSelectsPort(t *testing.T) {
+	pol := firewall.Pinhole{Rules: []firewall.Rule{{Prefix: GUAPrefix, Proto: packet.IPProtocolTCP, Port: 8080}}}
+	r, h, drain := setupFW(t, pol)
+	r.InjectWANv6(wanSYN(t, 8080))
+	r.InjectWANv6(wanSYN(t, 22))
+	drain()
+	if len(h.rx) != 1 || h.rx[0].TCP == nil || h.rx[0].TCP.DstPort != 8080 {
+		t.Fatalf("pinhole delivered %d frames, want only port 8080", len(h.rx))
+	}
+	st := r.FW.Stats()
+	if st.AllowedByPolicy != 1 || st.DroppedIn != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestStatefulReturnTraffic verifies the RFC 6092 behaviour end to end
+// through the router: a LAN-originated echo to the resolver completes
+// under default-deny, while the identical inbound packet unsolicited is
+// dropped.
+func TestStatefulReturnTraffic(t *testing.T) {
+	n, r, h, _ := setup(t, Config{IPv6: true})
+	r.SetFirewall(firewall.New(firewall.StatefulDefaultDeny{}, n.Clock, conntrack.DefaultConfig()))
+	announceV6(t, h)
+	run(t, n)
+	h.rx = nil
+
+	// Outbound echo request to the v6 resolver establishes state; the
+	// reply must come back in.
+	send(t, h,
+		&packet.Ethernet{Dst: RouterMAC, Src: devMAC, Type: packet.EtherTypeIPv6},
+		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 64, Src: devGUA, Dst: cloud.DNSv6},
+		&packet.ICMPv6{Type: packet.ICMPv6TypeEchoRequest, Body: []byte{0, 1, 0, 1}, Src: devGUA, Dst: cloud.DNSv6})
+	run(t, n)
+	p := h.last()
+	if p == nil || p.ICMPv6 == nil || p.ICMPv6.Type != packet.ICMPv6TypeEchoReply {
+		t.Fatalf("echo reply dropped by stateful firewall: %+v", p)
+	}
+	if r.ForwardedV6 != 1 {
+		t.Fatalf("ForwardedV6 = %d, want 1", r.ForwardedV6)
+	}
+
+	// The same reply arriving with no prior outbound flow is unsolicited.
+	h.rx = nil
+	raw, err := packet.Serialize(
+		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 64, Src: netip.MustParseAddr("2606:4700:f1::9"), Dst: devGUA},
+		&packet.ICMPv6{Type: packet.ICMPv6TypeEchoReply, Body: []byte{0, 1, 0, 1}, Src: netip.MustParseAddr("2606:4700:f1::9"), Dst: devGUA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.InjectWANv6(raw)
+	run(t, n)
+	if len(h.rx) != 0 {
+		t.Fatalf("unsolicited ICMPv6 leaked: %+v", h.last())
+	}
+}
+
+// TestWANv6TapConsumes verifies the exposure experiment's vantage hook:
+// a consuming tap sees forwarded packets and keeps them from the cloud.
+func TestWANv6TapConsumes(t *testing.T) {
+	n, r, h, _ := setup(t, Config{IPv6: true})
+	announceV6(t, h)
+	run(t, n)
+	var seen [][]byte
+	r.WANv6Tap = func(raw []byte) bool {
+		seen = append(seen, append([]byte(nil), raw...))
+		return true
+	}
+	h.rx = nil
+	send(t, h,
+		&packet.Ethernet{Dst: RouterMAC, Src: devMAC, Type: packet.EtherTypeIPv6},
+		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 64, Src: devGUA, Dst: cloud.DNSv6},
+		&packet.ICMPv6{Type: packet.ICMPv6TypeEchoRequest, Body: []byte{0, 2, 0, 1}, Src: devGUA, Dst: cloud.DNSv6})
+	run(t, n)
+	if len(seen) != 1 {
+		t.Fatalf("tap saw %d packets, want 1", len(seen))
+	}
+	if len(h.rx) != 0 {
+		t.Fatalf("consumed packet still reached the cloud: %+v", h.last())
+	}
+}

@@ -1,0 +1,183 @@
+package router
+
+// NAT44 edge cases: source-port collisions between devices and between
+// protocols, lease stability across device re-attachment, and
+// deterministic lease ordering.
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"v6lab/internal/cloud"
+	"v6lab/internal/dhcp4"
+	"v6lab/internal/netsim"
+	"v6lab/internal/packet"
+)
+
+var devMAC2 = packet.MAC{0x02, 0xde, 0xad, 0x00, 0x00, 0x02}
+
+func natSetup(t *testing.T) (*netsim.Network, *Router, *scriptHost, *scriptHost, *cloud.Cloud) {
+	t.Helper()
+	n, r, h1, cl := setup(t, Config{IPv4: true})
+	h2 := &scriptHost{}
+	h2.port = n.Attach(h2, devMAC2)
+	return n, r, h1, h2, cl
+}
+
+func sendUDPv4(t *testing.T, h *scriptHost, mac packet.MAC, src netip.Addr, sport uint16, dst netip.Addr, dport uint16, payload []byte) {
+	t.Helper()
+	send(t, h,
+		&packet.Ethernet{Dst: RouterMAC, Src: mac, Type: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.IPProtocolUDP, Src: src, Dst: dst},
+		&packet.UDP{SrcPort: sport, DstPort: dport, Src: src, Dst: dst},
+		packet.Raw(payload))
+}
+
+// TestNATSourcePortCollisionAcrossDevices: two devices using the same
+// local source port must get distinct translated ports and each reply
+// must return to the right device.
+func TestNATSourcePortCollisionAcrossDevices(t *testing.T) {
+	n, r, h1, h2, _ := natSetup(t)
+	ip1 := netip.MustParseAddr("192.168.1.50")
+	ip2 := netip.MustParseAddr("192.168.1.51")
+	ntpReq := make([]byte, 48)
+	ntpReq[0] = 0x1b
+	sendUDPv4(t, h1, devMAC, ip1, 5000, cloud.NTPv4, 123, ntpReq)
+	sendUDPv4(t, h2, devMAC2, ip2, 5000, cloud.NTPv4, 123, ntpReq)
+	run(t, n)
+	if r.ForwardedV4 != 2 {
+		t.Fatalf("ForwardedV4 = %d, want 2", r.ForwardedV4)
+	}
+	for i, h := range []*scriptHost{h1, h2} {
+		p := h.last()
+		if p == nil || p.UDP == nil || p.UDP.SrcPort != 123 {
+			t.Fatalf("host %d: no NTP reply: %+v", i+1, p)
+		}
+		if p.UDP.DstPort != 5000 {
+			t.Fatalf("host %d: reply port %d, want untranslated 5000", i+1, p.UDP.DstPort)
+		}
+		want := []netip.Addr{ip1, ip2}[i]
+		if p.IPv4.Dst != want {
+			t.Fatalf("host %d: reply delivered to %v, want %v", i+1, p.IPv4.Dst, want)
+		}
+	}
+}
+
+// TestNATSameTupleDifferentProtocols: a TCP flow and a UDP flow sharing a
+// device source port are distinct natKey mappings; replies for both must
+// translate back (regression: natBack used to ignore the protocol, so the
+// second protocol's reverse mapping was never installed).
+func TestNATSameTupleDifferentProtocols(t *testing.T) {
+	n, _, h, _, cl := natSetup(t)
+	d := cl.AddDomain("svc.example", cloud.PartyFirst, false, false)
+	ip := netip.MustParseAddr("192.168.1.50")
+	// TCP SYN from :7000 to the service's web port.
+	send(t, h,
+		&packet.Ethernet{Dst: RouterMAC, Src: devMAC, Type: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.IPProtocolTCP, Src: ip, Dst: d.V4[0]},
+		&packet.TCP{SrcPort: 7000, DstPort: 443, Seq: 1, Flags: packet.TCPFlagSYN, Src: ip, Dst: d.V4[0]})
+	run(t, n)
+	p := h.last()
+	if p == nil || p.TCP == nil || !p.TCP.HasFlag(packet.TCPFlagSYN|packet.TCPFlagACK) {
+		t.Fatalf("no SYN-ACK: %+v", p)
+	}
+	if p.TCP.DstPort != 7000 || p.IPv4.Dst != ip {
+		t.Fatalf("SYN-ACK misdelivered: port %d to %v", p.TCP.DstPort, p.IPv4.Dst)
+	}
+	// UDP from the same :7000 to NTP must ALSO get its reply back.
+	h.rx = nil
+	ntpReq := make([]byte, 48)
+	ntpReq[0] = 0x1b
+	sendUDPv4(t, h, devMAC, ip, 7000, cloud.NTPv4, 123, ntpReq)
+	run(t, n)
+	p = h.last()
+	if p == nil || p.UDP == nil || p.UDP.SrcPort != 123 || p.UDP.DstPort != 7000 {
+		t.Fatalf("UDP reply lost on shared source port: %+v", p)
+	}
+}
+
+func discover(t *testing.T, h *scriptHost, mac packet.MAC, xid uint32) {
+	t.Helper()
+	msg := &dhcp4.Message{Op: 1, XID: xid, ClientMAC: mac, Type: dhcp4.Discover}
+	wire, err := msg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := netip.MustParseAddr("255.255.255.255")
+	zero := netip.MustParseAddr("0.0.0.0")
+	send(t, h,
+		&packet.Ethernet{Dst: packet.BroadcastMAC, Src: mac, Type: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.IPProtocolUDP, Src: zero, Dst: bc},
+		&packet.UDP{SrcPort: dhcp4.ClientPort, DstPort: dhcp4.ServerPort, Src: zero, Dst: bc},
+		packet.Raw(wire))
+}
+
+// TestLeaseReuseAfterReattach: a device that reboots (fresh DISCOVER,
+// same MAC) gets its previous address back, dnsmasq-style.
+func TestLeaseReuseAfterReattach(t *testing.T) {
+	n, r, h, _, _ := natSetup(t)
+	discover(t, h, devMAC, 1)
+	run(t, n)
+	first, ok := r.LeaseFor(devMAC)
+	if !ok {
+		t.Fatal("no lease after first DISCOVER")
+	}
+	// Re-attach: the device falls off the network and boots again.
+	discover(t, h, devMAC, 2)
+	run(t, n)
+	second, ok := r.LeaseFor(devMAC)
+	if !ok || second != first {
+		t.Fatalf("lease changed across re-attach: %v -> %v", first, second)
+	}
+	// Another device must not steal it.
+	h2 := &scriptHost{}
+	h2.port = n.Attach(h2, devMAC2)
+	discover(t, h2, devMAC2, 3)
+	run(t, n)
+	if other, _ := r.LeaseFor(devMAC2); other == first {
+		t.Fatalf("second device assigned the same lease %v", other)
+	}
+}
+
+// TestDeterministicLeaseOrdering: leases are handed out in DISCOVER
+// order from a fixed base, so two identical boots produce identical
+// address plans (the determinism the capture pipeline depends on).
+func TestDeterministicLeaseOrdering(t *testing.T) {
+	macs := []packet.MAC{
+		{0x02, 0xaa, 0, 0, 0, 1},
+		{0x02, 0xaa, 0, 0, 0, 2},
+		{0x02, 0xaa, 0, 0, 0, 3},
+	}
+	boot := func() []netip.Addr {
+		cl := cloud.New()
+		n := netsim.NewNetwork(netsim.NewClock(time.Date(2024, 4, 5, 0, 0, 0, 0, time.UTC)))
+		r := New(Config{IPv4: true}, cl)
+		r.Attach(n)
+		var out []netip.Addr
+		for i, mac := range macs {
+			h := &scriptHost{}
+			h.port = n.Attach(h, mac)
+			discover(t, h, mac, uint32(i+10))
+			run(t, n)
+			lease, ok := r.LeaseFor(mac)
+			if !ok {
+				t.Fatalf("no lease for %v", mac)
+			}
+			out = append(out, lease)
+		}
+		return out
+	}
+	first := boot()
+	for i, want := range []string{"192.168.1.101", "192.168.1.102", "192.168.1.103"} {
+		if first[i] != netip.MustParseAddr(want) {
+			t.Fatalf("lease[%d] = %v, want %s", i, first[i], want)
+		}
+	}
+	second := boot()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("lease ordering not reproducible: %v vs %v", first, second)
+		}
+	}
+}

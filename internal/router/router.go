@@ -10,6 +10,8 @@ import (
 
 	"v6lab/internal/addr"
 	"v6lab/internal/cloud"
+	"v6lab/internal/conntrack"
+	"v6lab/internal/firewall"
 	"v6lab/internal/netsim"
 	"v6lab/internal/packet"
 )
@@ -34,6 +36,7 @@ type natKey struct {
 }
 
 type natEntry struct {
+	proto   packet.IPProtocol
 	devIP   netip.Addr
 	devPort uint16
 }
@@ -65,6 +68,19 @@ type Router struct {
 	natBack map[natEntry]uint16
 	natNext uint16
 
+	// FW filters the IPv6 forwarding path: outbound packets establish
+	// conntrack state, inbound WAN packets (cloud replies and injected
+	// probes alike) must pass the policy. Attach installs an Open-policy
+	// default matching the paper's unfiltered testbed; SetFirewall swaps
+	// it.
+	FW *firewall.Firewall
+
+	// WANv6Tap, when set, observes every raw IPv6 packet the router
+	// forwards to the WAN. Returning true consumes the packet (it is not
+	// handed to the cloud) — the firewall-exposure experiment uses this
+	// to play the remote scanning vantage.
+	WANv6Tap func(raw []byte) bool
+
 	// ForwardedV4 and ForwardedV6 count packets routed to the Internet.
 	ForwardedV4, ForwardedV6 int
 }
@@ -84,11 +100,19 @@ func New(cfg Config, cl *cloud.Cloud) *Router {
 	}
 }
 
-// Attach connects the router to the LAN.
+// Attach connects the router to the LAN. Unless SetFirewall installed a
+// policy first, the v6 path gets the paper's unfiltered Open firewall.
 func (r *Router) Attach(n *netsim.Network) {
 	r.clock = n.Clock
 	r.port = n.Attach(r, RouterMAC)
+	if r.FW == nil {
+		r.FW = firewall.New(firewall.Open{}, n.Clock, conntrack.DefaultConfig())
+	}
 }
+
+// SetFirewall installs the inbound-IPv6 firewall; call before or after
+// Attach.
+func (r *Router) SetFirewall(fw *firewall.Firewall) { r.FW = fw }
 
 // HandleFrame implements netsim.Host.
 func (r *Router) HandleFrame(frame []byte) {
@@ -202,7 +226,7 @@ func (r *Router) forwardV4(p *packet.Packet) {
 	default:
 		return
 	}
-	entry := natEntry{devIP: devIP, devPort: devPort}
+	entry := natEntry{proto: proto, devIP: devIP, devPort: devPort}
 	var ok bool
 	if natPort, ok = r.natBack[entry]; !ok {
 		r.natNext++
@@ -289,8 +313,9 @@ func (r *Router) ipForMACv4(mac packet.MAC) netip.Addr {
 }
 
 // forwardV6 routes a LAN packet to the cloud unchanged (the paper's LAN is
-// a routed /64, no NAT66) and relays replies to the device by neighbor
-// lookup.
+// a routed /64, no NAT66), records the flow in the firewall's conntrack
+// table, and relays replies to the device by neighbor lookup — replies
+// traverse the inbound firewall like any other WAN packet.
 func (r *Router) forwardV6(p *packet.Packet) {
 	if !GUAPrefix.Contains(p.IPv6.Src) {
 		return // ULA/LLA sources are not globally routable
@@ -299,23 +324,45 @@ func (r *Router) forwardV6(p *packet.Packet) {
 	if err != nil {
 		return
 	}
+	if key, flags, ok := conntrack.KeyOfV6(p.IPv6, p.TCP, p.UDP, p.ICMPv6); ok {
+		r.FW.Outbound(key, flags)
+	}
 	r.ForwardedV6++
+	if r.WANv6Tap != nil && r.WANv6Tap(raw) {
+		return
+	}
 	for _, reply := range r.Cloud.HandleIP(raw) {
-		rp := packet.ParseIP(reply)
-		if rp.Err != nil || rp.IPv6 == nil {
-			continue
-		}
-		dev := rp.IPv6.Dst
-		mac, ok := r.Neighbors[dev]
-		if !ok {
-			continue
-		}
-		frame, err := prependEthernet(mac, RouterMAC, packet.EtherTypeIPv6, reply)
-		if err == nil {
-			r.port.Send(frame)
-		}
+		r.deliverWANv6(reply)
 	}
 }
+
+// deliverWANv6 carries one raw IPv6 packet from the WAN side onto the LAN:
+// it must pass the inbound firewall, and the destination must be a known
+// neighbor.
+func (r *Router) deliverWANv6(raw []byte) {
+	rp := packet.ParseIP(raw)
+	if rp.Err != nil || rp.IPv6 == nil {
+		return
+	}
+	if key, flags, ok := conntrack.KeyOfV6(rp.IPv6, rp.TCP, rp.UDP, rp.ICMPv6); ok {
+		if !r.FW.Inbound(key, flags) {
+			return
+		}
+	}
+	mac, ok := r.Neighbors[rp.IPv6.Dst]
+	if !ok {
+		return
+	}
+	frame, err := prependEthernet(mac, RouterMAC, packet.EtherTypeIPv6, raw)
+	if err == nil {
+		r.port.Send(frame)
+	}
+}
+
+// InjectWANv6 delivers an unsolicited raw IPv6 packet arriving from the
+// Internet — the WAN-vantage port scan of the firewall-exposure
+// experiment — subject to the inbound firewall policy.
+func (r *Router) InjectWANv6(raw []byte) { r.deliverWANv6(raw) }
 
 // reserializeIPv6 strips the Ethernet header, returning the raw IP packet.
 func reserializeIPv6(p *packet.Packet) ([]byte, error) {

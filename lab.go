@@ -19,6 +19,7 @@ import (
 
 	"v6lab/internal/analysis"
 	"v6lab/internal/experiment"
+	"v6lab/internal/firewall"
 	"v6lab/internal/report"
 )
 
@@ -46,13 +47,17 @@ const (
 	FuncMatrix Artifact = "functional-matrix"
 	Ports      Artifact = "ports"
 	Tracking   Artifact = "tracking"
+	// Firewall extends the paper: the §5.4.2 scan repeated from a WAN
+	// vantage under each inbound-IPv6 firewall policy (§6's
+	// countermeasure space). Requires RunFirewallComparison.
+	Firewall Artifact = "firewall"
 )
 
 // Artifacts lists every artifact in report order.
 var Artifacts = []Artifact{
 	Table3, Figure2, Table4, Table5, Table6, Figure3, Figure4, Table7,
 	Table8, Table9, Table10, Table12, Table13, Figure5, DADAudit, Ports, Tracking,
-	FuncMatrix,
+	FuncMatrix, Firewall,
 }
 
 // Lab is the top-level handle: a configured study plus, after Run, the
@@ -60,6 +65,9 @@ var Artifacts = []Artifact{
 type Lab struct {
 	Study *experiment.Study
 	Data  *analysis.Dataset
+	// FirewallCmp holds the policy-comparison results once
+	// RunFirewallComparison has run.
+	FirewallCmp *experiment.FirewallReport
 }
 
 // New builds the testbed (devices, workload plans, simulated cloud).
@@ -74,6 +82,36 @@ func (l *Lab) Run() error {
 		return err
 	}
 	l.Data = analysis.FromStudy(l.Study)
+	return nil
+}
+
+// RunFirewallComparison re-runs the §5.4.2 scan from a WAN vantage under
+// the named inbound-IPv6 firewall policies ("open", "stateful",
+// "pinhole"); with no names it compares all three. The pinhole policy
+// carries the testbed's default holes (the v6-only service ports, i.e.
+// the Samsung Fridge's). Results land in FirewallCmp and the Firewall
+// artifact.
+func (l *Lab) RunFirewallComparison(policyNames ...string) error {
+	var policies []firewall.Policy
+	if len(policyNames) == 0 {
+		policies = experiment.DefaultFirewallPolicies(l.Study.Profiles)
+	} else {
+		for _, name := range policyNames {
+			p, err := firewall.ByName(name)
+			if err != nil {
+				return err
+			}
+			if ph, ok := p.(firewall.Pinhole); ok && len(ph.Rules) == 0 {
+				p = firewall.Pinhole{Rules: experiment.DefaultPinholes(l.Study.Profiles)}
+			}
+			policies = append(policies, p)
+		}
+	}
+	rep, err := l.Study.RunFirewallExposure(policies)
+	if err != nil {
+		return err
+	}
+	l.FirewallCmp = rep
 	return nil
 }
 
@@ -126,6 +164,11 @@ func (l *Lab) Report(a Artifact) string {
 		return report.PortScan(l.Study.Scan)
 	case Tracking:
 		return report.Tracking(ds.Tracking())
+	case Firewall:
+		if l.FirewallCmp == nil {
+			return "Firewall policy comparison: not run (pass -firewall=compare or a policy name)\n"
+		}
+		return report.FirewallExposure(l.FirewallCmp)
 	case FuncMatrix:
 		var names []string
 		for _, p := range ds.Profiles {
