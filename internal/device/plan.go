@@ -192,6 +192,18 @@ func BuildPlans(profiles []*Profile) []*Plan {
 		byCat[ci] = append(byCat[ci], pl)
 	}
 
+	// Population scaling: the paper's per-category targets assume the full
+	// 93-device registry. A household holding a subset of a category gets
+	// a proportional share (half-up rounding); the full registry scales by
+	// exactly 1, leaving the single-home study untouched.
+	scale := func(total, ci int) int {
+		present, full := len(byCat[ci]), paper.DevicesPerCategory[ci]
+		if present == full {
+			return total
+		}
+		return (total*present + full/2) / full
+	}
+
 	for ci := 0; ci < paper.NumCategories; ci++ {
 		cat := byCat[ci]
 		// Contact-class allocation.
@@ -200,7 +212,7 @@ func BuildPlans(profiles []*Profile) []*Plan {
 			ClassSw46, ClassV6Stay, ClassV6NonCommon, ClassExt64,
 			ClassSw64, ClassDNSOnly, ClassHardcoded,
 		} {
-			total := classTargets[class][ci]
+			total := scale(classTargets[class][ci], ci)
 			if total == 0 {
 				continue
 			}
@@ -215,7 +227,7 @@ func BuildPlans(profiles []*Profile) []*Plan {
 	for _, pl := range plans {
 		addEssentials(pl)
 	}
-	assignDNSBehaviour(plans, byCat)
+	assignDNSBehaviour(plans, byCat, scale)
 	assignAnswerableNames(plans)
 	assignReadiness(plans, byCat)
 	assignTrackers(plans)
@@ -547,7 +559,7 @@ func addEssentials(pl *Plan) {
 // assignDNSBehaviour marks which names each device queries AAAA (and over
 // which transport), which are A-only in v6, and adds alias names to reach
 // the distinct-query-name targets of Table 6.
-func assignDNSBehaviour(plans []*Plan, byCat map[int][]*Plan) {
+func assignDNSBehaviour(plans []*Plan, byCat map[int][]*Plan, scale func(total, ci int) int) {
 	for ci := 0; ci < paper.NumCategories; ci++ {
 		cat := byCat[ci]
 
@@ -565,7 +577,7 @@ func assignDNSBehaviour(plans []*Plan, byCat map[int][]*Plan) {
 				}
 			}
 		}
-		surplus := natural - aaaaResTargets[ci]
+		surplus := natural - scale(aaaaResTargets[ci], ci)
 		if surplus > 0 {
 			for _, pl := range cat {
 				if !pl.Dev.QueriesHTTPS || surplus == 0 {
@@ -603,7 +615,7 @@ func assignDNSBehaviour(plans []*Plan, byCat map[int][]*Plan) {
 				}
 			}
 		}
-		if deficit := aaaaResTargets[ci] - success; deficit > 0 {
+		if deficit := scale(aaaaResTargets[ci], ci) - success; deficit > 0 {
 			eligible, weights := aliasEligible(cat, true)
 			for i, n := range apportion(deficit, weights) {
 				addAlias(eligible[i], n, true)
@@ -615,7 +627,7 @@ func assignDNSBehaviour(plans []*Plan, byCat map[int][]*Plan) {
 		//    v4-class specs (queried over the v6 resolver with A only).
 		//    Assigned before the AAAA-failure budget so the names stay
 		//    A-only.
-		aOnly := aOnlyV6Targets[ci]
+		aOnly := scale(aOnlyV6Targets[ci], ci)
 		for _, pl := range cat {
 			for _, sp := range pl.Specs {
 				if sp.AOnlyV6 {
@@ -649,7 +661,7 @@ func assignDNSBehaviour(plans []*Plan, byCat map[int][]*Plan) {
 		// 3. AAAA failures: remaining request-name budget goes to
 		//    AAAA-queried names without AAAA records — v4-class specs
 		//    first, alias names for the rest.
-		failBudget := aaaaReqTargets[ci] - success
+		failBudget := scale(aaaaReqTargets[ci], ci) - success
 		for _, pl := range cat {
 			for _, sp := range pl.Specs {
 				if sp.QueryAAAA && !sp.HasAAAA {
@@ -691,7 +703,7 @@ func assignDNSBehaviour(plans []*Plan, byCat map[int][]*Plan) {
 		//    classes (Ext46/Sw46, or anything on a dual-only-data device)
 		//    qualify. The paper's Home Auto row asks for more names than the
 		//    category ever queries (8 > 6); the count caps at what exists.
-		v4only := v4OnlyAAAATgts[ci]
+		v4only := scale(v4OnlyAAAATgts[ci], ci)
 		for _, preferNoV6DNS := range []bool{true, false} {
 			for _, pl := range cat {
 				if v4only <= 0 {
@@ -795,6 +807,9 @@ func assignTrackers(plans []*Plan) {
 func assignVolumes(plans []*Plan, byCat map[int][]*Plan) {
 	for ci := 0; ci < paper.NumCategories; ci++ {
 		cat := byCat[ci]
+		if len(cat) == 0 {
+			continue
+		}
 		target := paper.Table6.V6VolumeFracPct[ci] / 100
 		// Base budget scales with complexity.
 		var v6Sum, v6Tot float64
@@ -832,11 +847,15 @@ func assignVolumes(plans []*Plan, byCat map[int][]*Plan) {
 		// speakers dominate smart-home traffic volume.
 		shares := [paper.NumCategories]float64{1, 3, 42, 19, 1, 2, 32}
 		const base = 10_000_000
+		// Subset populations carry a proportional share of the category's
+		// absolute volume (a household with 3 of the paper's 18 cameras
+		// moves 3/18 of the camera bytes).
+		pop := float64(len(cat)) / float64(paper.DevicesPerCategory[ci])
 		var cur float64
 		for _, pl := range cat {
 			cur += float64(pl.TotalBytes)
 		}
-		factor := shares[ci] / 100 * base / cur
+		factor := shares[ci] / 100 * base * pop / cur
 		for _, pl := range cat {
 			pl.TotalBytes = int(float64(pl.TotalBytes) * factor)
 			pl.V6Bytes = int(pl.Dev.DualV6Share * float64(pl.TotalBytes))

@@ -14,11 +14,17 @@ package device
 // A=address, G=GUA, D=DNS over IPv6, C=global data communication.
 
 // Registry returns fresh copies of the 93 device profiles in the paper's
-// Table 10 order.
+// Table 10 order. The copies are deep: slice-typed fields (the open-port
+// lists) get their own backing arrays, so concurrent studies never share
+// mutable state through their profiles.
 func Registry() []*Profile {
 	ps := make([]*Profile, len(registry))
 	for i := range registry {
 		p := registry[i] // copy
+		p.OpenTCPv4 = append([]uint16(nil), p.OpenTCPv4...)
+		p.OpenTCPv6 = append([]uint16(nil), p.OpenTCPv6...)
+		p.OpenUDPv4 = append([]uint16(nil), p.OpenUDPv4...)
+		p.OpenUDPv6 = append([]uint16(nil), p.OpenUDPv6...)
 		ps[i] = &p
 	}
 	return ps

@@ -113,10 +113,46 @@ type Study struct {
 	MaxFramesPerRun int
 }
 
+// StudyOptions parameterizes testbed construction. The zero value builds
+// the paper's single-home study: the full 93-device registry, the paper's
+// capture start time, and the default frame budget. Every field the study
+// touches is instantiated per call — two studies built from any options
+// share no mutable state and may run on concurrent goroutines.
+type StudyOptions struct {
+	// Devices selects the device population; nil means the full registry.
+	// Workload plans scale with the population: a household holding a
+	// subset of a category gets a proportional share of that category's
+	// paper-derived domain and volume targets.
+	Devices []*device.Profile
+	// Start is the simulated capture start time; the zero value means the
+	// paper's 2024-04-05 09:00 UTC.
+	Start time.Time
+	// MaxFramesPerRun bounds each experiment's frame deliveries; 0 means
+	// the default 3,000,000.
+	MaxFramesPerRun int
+}
+
 // NewStudy builds the testbed: 93 device stacks, their workload plans, and
 // a cloud primed with every planned destination domain.
 func NewStudy() *Study {
-	profiles := device.Registry()
+	return NewStudyWith(StudyOptions{})
+}
+
+// NewStudyWith builds a testbed from options; see StudyOptions for the
+// zero-value defaults.
+func NewStudyWith(opts StudyOptions) *Study {
+	profiles := opts.Devices
+	if profiles == nil {
+		profiles = device.Registry()
+	}
+	start := opts.Start
+	if start.IsZero() {
+		start = time.Date(2024, 4, 5, 9, 0, 0, 0, time.UTC)
+	}
+	maxFrames := opts.MaxFramesPerRun
+	if maxFrames == 0 {
+		maxFrames = 3_000_000
+	}
 	plans := device.BuildPlans(profiles)
 	cl := cloud.New()
 	for _, pl := range plans {
@@ -129,10 +165,10 @@ func NewStudy() *Study {
 		Profiles:        profiles,
 		Plans:           plans,
 		Cloud:           cl,
-		Clock:           netsim.NewClock(time.Date(2024, 4, 5, 9, 0, 0, 0, time.UTC)),
+		Clock:           netsim.NewClock(start),
 		MACToDevice:     map[packet.MAC]*device.Profile{},
 		ActiveDNS:       map[string]AAAAResult{},
-		MaxFramesPerRun: 3_000_000,
+		MaxFramesPerRun: maxFrames,
 	}
 	for i, p := range profiles {
 		s := device.NewStack(p, plans[i], i, prefixes)

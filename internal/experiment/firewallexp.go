@@ -100,10 +100,19 @@ func DefaultFirewallPolicies(profiles []*device.Profile) []firewall.Policy {
 // holds the devices' outbound flows), then a SYN sweep of every routable
 // GUA the router's neighbor table knows.
 func (st *Study) RunFirewallExposure(policies []firewall.Policy) (*FirewallReport, error) {
+	// Dual-stack (stateful), as in RunPortScan: everything live.
+	return st.RunFirewallExposureUnder(Configs[len(Configs)-1], policies)
+}
+
+// RunFirewallExposureUnder is RunFirewallExposure with an explicit
+// connectivity configuration: the fleet simulator scans each home under
+// the home's own (v6-enabled) Table 2 config rather than always booting
+// dual-stack stateful.
+func (st *Study) RunFirewallExposureUnder(cfg Config, policies []firewall.Policy) (*FirewallReport, error) {
 	ports := probePorts(st.Profiles)
 	rep := &FirewallReport{Ports: ports}
 	for _, pol := range policies {
-		pe, err := st.runExposure(pol, ports)
+		pe, err := st.runExposure(cfg, pol, ports)
 		if err != nil {
 			return nil, err
 		}
@@ -112,9 +121,8 @@ func (st *Study) RunFirewallExposure(policies []firewall.Policy) (*FirewallRepor
 	return rep, nil
 }
 
-func (st *Study) runExposure(pol firewall.Policy, ports []uint16) (*PolicyExposure, error) {
+func (st *Study) runExposure(cfg Config, pol firewall.Policy, ports []uint16) (*PolicyExposure, error) {
 	net := netsim.NewNetwork(st.Clock)
-	cfg := Configs[len(Configs)-1] // dual-stack (stateful), as in RunPortScan
 	rt := router.New(cfg.Router, st.Cloud)
 	fw := firewall.New(pol, st.Clock, conntrack.DefaultConfig())
 	rt.SetFirewall(fw)
