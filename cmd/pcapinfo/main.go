@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,16 +19,24 @@ import (
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "print one line per frame")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pcapinfo [-v] file.pcap")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pcapinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "print one line per frame")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	recs, err := pcapio.ReadFile(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pcapinfo [-v] file.pcap")
+		return 2
+	}
+	recs, err := pcapio.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
 	}
 
 	proto := map[string]int{}
@@ -62,19 +71,20 @@ func main() {
 			proto["other"]++
 		}
 		if *verbose {
-			fmt.Printf("%s %s -> %s", rec.Time.Format("15:04:05.000000"), p.Ethernet.Src, p.Ethernet.Dst)
+			fmt.Fprintf(stdout, "%s %s -> %s", rec.Time.Format("15:04:05.000000"), p.Ethernet.Src, p.Ethernet.Dst)
 			if ip := p.SrcIP(); ip.IsValid() {
-				fmt.Printf("  %s -> %s", ip, p.DstIP())
+				fmt.Fprintf(stdout, "  %s -> %s", ip, p.DstIP())
 			}
-			fmt.Printf("  len=%d\n", len(rec.Data))
+			fmt.Fprintf(stdout, "  len=%d\n", len(rec.Data))
 		}
 	}
 
-	fmt.Printf("%s: %d frames, %d bytes\n", flag.Arg(0), len(recs), bytes)
+	fmt.Fprintf(stdout, "%s: %d frames, %d bytes\n", fs.Arg(0), len(recs), bytes)
 	for _, k := range sortedKeys(proto) {
-		fmt.Printf("  %-14s %6d\n", k, proto[k])
+		fmt.Fprintf(stdout, "  %-14s %6d\n", k, proto[k])
 	}
-	fmt.Printf("distinct talkers: %d, distinct query names: %d\n", len(talkers), len(queries))
+	fmt.Fprintf(stdout, "distinct talkers: %d, distinct query names: %d\n", len(talkers), len(queries))
+	return 0
 }
 
 func sortedKeys(m map[string]int) []string {

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare] [-list]
+//	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare]
+//	      [-fleet 100 -workers 8 -fleet-seed 1] [-list]
 //
 // Without -artifact, every artifact is printed in report order. The
 // command takes no positional arguments; unknown flags or arguments exit
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"v6lab"
+	"v6lab/internal/fleet"
 )
 
 func main() {
@@ -32,6 +34,9 @@ func run() int {
 	forceDAD := flag.Bool("force-dad", false, "ablation: force RFC 4862 DAD compliance on every device")
 	aaaaEverywhere := flag.Bool("aaaa-everywhere", false, "ablation: publish AAAA records for every destination")
 	fwPolicy := flag.String("firewall", "", "re-run the §5.4.2 scan from a WAN vantage under an inbound-IPv6 policy: open|stateful|pinhole, or compare for all three")
+	fleetN := flag.Int("fleet", 0, "simulate a population of N independent homes and render the fleet artifact")
+	workers := flag.Int("workers", 0, "fleet worker-pool size; 0 = GOMAXPROCS (aggregates are identical for any value)")
+	fleetSeed := flag.Uint64("fleet-seed", 1, "fleet population seed; identical seeds reproduce the population exactly")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -68,11 +73,35 @@ func run() int {
 		return 2
 	}
 
+	if *fleetN < 0 {
+		fmt.Fprintf(os.Stderr, "v6lab: -fleet wants a positive home count, got %d\n", *fleetN)
+		return 2
+	}
+	if (*workers != 0 || *fleetSeed != 1) && *fleetN == 0 {
+		fmt.Fprintln(os.Stderr, "v6lab: -workers and -fleet-seed only apply together with -fleet N")
+		return 2
+	}
+
 	lab := v6lab.NewWithOptions(v6lab.Options{
 		ForcePrivacyExtensions: *privacyExt,
 		ForceDAD:               *forceDAD,
 		AAAAEverywhere:         *aaaaEverywhere,
 	})
+
+	if *fleetN > 0 {
+		fmt.Fprintf(os.Stderr, "simulating a fleet of %d homes (seed %d, workers %d)...\n",
+			*fleetN, *fleetSeed, *workers)
+		if err := lab.RunFleetWith(fleet.Config{Homes: *fleetN, Workers: *workers, Seed: *fleetSeed}); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		// The fleet artifact needs no single-home study: render and exit.
+		if *artifact == string(v6lab.FleetStudy) && *pcapDir == "" && *csvDir == "" && *fwPolicy == "" {
+			fmt.Print(lab.Report(v6lab.FleetStudy))
+			return 0
+		}
+	}
+
 	fmt.Fprintln(os.Stderr, "running the six connectivity experiments, active DNS queries, and port scans...")
 	if err := lab.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

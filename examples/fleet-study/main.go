@@ -1,0 +1,55 @@
+// Fleet study: scale the single-home testbed to a population. Simulates
+// N independent smart homes — each with its own device subset, Table 2
+// connectivity config, and inbound-IPv6 firewall policy — on a bounded
+// worker pool, then renders the population-level prevalence results.
+// The aggregate is byte-identical for any worker count.
+//
+// Usage: fleet-study [homes] [workers]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"v6lab"
+	"v6lab/internal/fleet"
+)
+
+func main() {
+	homes, workers := 40, 0 // 0 workers = GOMAXPROCS
+	if len(os.Args) > 1 {
+		homes = atoi(os.Args[1])
+	}
+	if len(os.Args) > 2 {
+		workers = atoi(os.Args[2])
+	}
+
+	lab := v6lab.New()
+	if err := lab.RunFleetWith(fleet.Config{Homes: homes, Workers: workers}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(lab.Report(v6lab.FleetStudy))
+
+	// The per-home results stay addressable: show the worst-off home.
+	worst, bricked := -1, 0
+	for i, hr := range lab.FleetPop.Homes {
+		if b := hr.Devices - hr.Functional; b > bricked {
+			worst, bricked = i, b
+		}
+	}
+	if worst >= 0 {
+		hr := lab.FleetPop.Homes[worst]
+		fmt.Printf("\nworst-off home: #%d (%s), %d of %d devices bricked\n",
+			hr.Spec.Index, hr.Spec.ConfigID, bricked, hr.Devices)
+	}
+}
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		log.Fatalf("want a number, got %q", s)
+	}
+	return n
+}

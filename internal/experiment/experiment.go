@@ -67,6 +67,16 @@ var Configs = []Config{
 	},
 }
 
+// ConfigByID returns the Table 2 experiment config with the given ID.
+func ConfigByID(id string) (Config, bool) {
+	for _, c := range Configs {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
 // RunResult captures everything one experiment produced.
 type RunResult struct {
 	Config Config

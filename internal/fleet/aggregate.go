@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"sort"
+
+	"v6lab/internal/experiment"
+)
+
+// ConfigAgg accumulates funnel outcomes over every home running one
+// Table 2 connectivity config.
+type ConfigAgg struct {
+	ID    string
+	Homes int
+	// Device-level funnel sums across the config's homes.
+	Devices, NDP, Addr, GUA, AAAAReq, InternetV6, Functional int
+}
+
+// PolicyAgg accumulates inbound-exposure outcomes over every v6-enabled
+// home running one firewall policy.
+type PolicyAgg struct {
+	Policy string
+	Homes  int
+	// HomesExposed counts homes where at least one device answered a
+	// WAN-vantage probe.
+	HomesExposed int
+	DevicesProbed, DevicesReachable, PortsReachable int
+}
+
+// Aggregate is the population-level summary of a fleet run.
+type Aggregate struct {
+	Homes, Devices     int
+	SizeMin, SizeMax   int
+	FramesCaptured     int
+	ByConfig           []ConfigAgg // in Table 2 execution order
+	ByPolicy           []PolicyAgg // v6-enabled homes only, by policy name
+	// Functionality prevalence.
+	DeviceFunctional int
+	HomesAllOK       int // every device functional
+	HomesBricked     int // >=1 non-functional device
+	// Privacy prevalence.
+	HomesDADSkip    int // >=1 device configuring addresses without DAD
+	DADSkipDevices  int
+	DADNeverDevices int
+	HomesEUI64      int // >=1 device using an EUI-64 GUA
+	EUI64UseDevices int
+}
+
+// Aggregate folds the per-home results, visiting homes in index order so
+// the output is identical for any worker count.
+func (p *Population) Aggregate() Aggregate {
+	a := Aggregate{Homes: len(p.Homes)}
+	byConfig := map[string]*ConfigAgg{}
+	byPolicy := map[string]*PolicyAgg{}
+	for _, hr := range p.Homes {
+		a.Devices += hr.Devices
+		a.FramesCaptured += hr.FramesCaptured
+		if a.SizeMin == 0 || hr.Devices < a.SizeMin {
+			a.SizeMin = hr.Devices
+		}
+		if hr.Devices > a.SizeMax {
+			a.SizeMax = hr.Devices
+		}
+
+		ca := byConfig[hr.Spec.ConfigID]
+		if ca == nil {
+			ca = &ConfigAgg{ID: hr.Spec.ConfigID}
+			byConfig[hr.Spec.ConfigID] = ca
+		}
+		ca.Homes++
+		ca.Devices += hr.Devices
+		ca.NDP += hr.NDP
+		ca.Addr += hr.Addr
+		ca.GUA += hr.GUA
+		ca.AAAAReq += hr.AAAAReq
+		ca.InternetV6 += hr.InternetV6
+		ca.Functional += hr.Functional
+
+		a.DeviceFunctional += hr.Functional
+		if hr.Functional == hr.Devices {
+			a.HomesAllOK++
+		} else {
+			a.HomesBricked++
+		}
+		a.DADSkipDevices += hr.DADSkipping
+		a.DADNeverDevices += hr.DADNever
+		if hr.DADSkipping > 0 {
+			a.HomesDADSkip++
+		}
+		a.EUI64UseDevices += hr.EUI64Use
+		if hr.EUI64Use > 0 {
+			a.HomesEUI64++
+		}
+
+		if hr.Exposure != nil {
+			pa := byPolicy[hr.Spec.Policy]
+			if pa == nil {
+				pa = &PolicyAgg{Policy: hr.Spec.Policy}
+				byPolicy[hr.Spec.Policy] = pa
+			}
+			pa.Homes++
+			pa.DevicesProbed += hr.Exposure.DevicesProbed
+			pa.DevicesReachable += hr.Exposure.DevicesReachable
+			pa.PortsReachable += hr.Exposure.PortsReachable
+			if hr.Exposure.DevicesReachable > 0 {
+				pa.HomesExposed++
+			}
+		}
+	}
+	for _, cfg := range experiment.Configs {
+		if ca := byConfig[cfg.ID]; ca != nil {
+			a.ByConfig = append(a.ByConfig, *ca)
+		}
+	}
+	names := make([]string, 0, len(byPolicy))
+	for name := range byPolicy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a.ByPolicy = append(a.ByPolicy, *byPolicy[name])
+	}
+	return a
+}

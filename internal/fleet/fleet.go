@@ -1,0 +1,372 @@
+// Package fleet scales the single-home testbed to populations: it
+// instantiates N independent simulated smart homes — each with its own
+// device subset, Table 2 connectivity configuration, and inbound-IPv6
+// firewall policy — runs them concurrently on a bounded worker pool, and
+// aggregates per-home outcomes into population-level prevalence results.
+//
+// Every home is derived deterministically from (fleet seed, home index),
+// and homes share no mutable state, so a fleet's aggregate is
+// byte-identical regardless of worker count: results are merged in home
+// index order, never in completion order.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"v6lab/internal/addr"
+	"v6lab/internal/analysis"
+	"v6lab/internal/device"
+	"v6lab/internal/experiment"
+	"v6lab/internal/firewall"
+)
+
+// SizeBand is one bucket of the household-size distribution: homes in the
+// band hold between Min and Max devices (inclusive, uniform within).
+type SizeBand struct {
+	Min, Max int
+	Weight   int
+}
+
+// Share is one weighted option of a categorical mix (connectivity configs,
+// firewall policies).
+type Share struct {
+	Name   string
+	Weight int
+}
+
+// Config parameterizes a fleet run. The zero value of every field selects
+// a default, so Config{Homes: 100} is a complete specification.
+type Config struct {
+	// Homes is the population size.
+	Homes int
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Seed derives every home's spec; identical seeds reproduce the
+	// population exactly. 0 means seed 1.
+	Seed uint64
+	// Sizes is the household-size distribution; nil means DefaultSizes.
+	Sizes []SizeBand
+	// Connectivity is the Table 2 config mix by experiment ID; nil means
+	// DefaultConnectivity.
+	Connectivity []Share
+	// Policies is the inbound-IPv6 firewall policy mix ("open",
+	// "stateful", "pinhole"); nil means DefaultPolicies.
+	Policies []Share
+	// MaxFramesPerRun bounds each home experiment's frame deliveries;
+	// 0 means the study default.
+	MaxFramesPerRun int
+	// SkipExposure disables the per-home WAN-vantage inbound scan.
+	SkipExposure bool
+}
+
+// DefaultSizes is the default household-size distribution: mostly small
+// deployments with a tail of heavily instrumented homes, the shape
+// in-the-wild smart-home studies report.
+var DefaultSizes = []SizeBand{
+	{Min: 3, Max: 6, Weight: 3},
+	{Min: 7, Max: 12, Weight: 4},
+	{Min: 13, Max: 20, Weight: 2},
+	{Min: 21, Max: 35, Weight: 1},
+}
+
+// DefaultConnectivity is the default Table 2 config mix: dual-stack
+// dominates residential deployments, IPv4-only remains common, and the
+// IPv6-only variants form the forward-looking tail.
+var DefaultConnectivity = []Share{
+	{Name: "ipv4-only", Weight: 25},
+	{Name: "dual-stack", Weight: 35},
+	{Name: "dual-stack-stateful", Weight: 15},
+	{Name: "ipv6-only", Weight: 10},
+	{Name: "ipv6-only-rdnss", Weight: 5},
+	{Name: "ipv6-only-stateful", Weight: 10},
+}
+
+// DefaultPolicies is the default inbound-IPv6 policy mix: most CPE ships
+// RFC 6092 default-deny, a substantial minority forwards the routed
+// prefix unfiltered (the paper's router; Rye et al. find millions of such
+// homes), and a small slice punches static pinholes.
+var DefaultPolicies = []Share{
+	{Name: "open", Weight: 35},
+	{Name: "stateful", Weight: 50},
+	{Name: "pinhole", Weight: 15},
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sizes == nil {
+		c.Sizes = DefaultSizes
+	}
+	if c.Connectivity == nil {
+		c.Connectivity = DefaultConnectivity
+	}
+	if c.Policies == nil {
+		c.Policies = DefaultPolicies
+	}
+	return c
+}
+
+// HomeSpec is one home's deterministic specification.
+type HomeSpec struct {
+	Index int
+	// DeviceIndexes selects the home's devices from the registry, in
+	// Table 10 order.
+	DeviceIndexes []int
+	// Devices holds the selected device names, parallel to DeviceIndexes.
+	Devices []string
+	// ConfigID is the home's Table 2 connectivity experiment.
+	ConfigID string
+	// Policy is the home's inbound-IPv6 firewall policy name.
+	Policy string
+}
+
+// rng is a splitmix64 generator: tiny, deterministic, and safe to
+// instantiate per home (no shared state).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// pickIndex draws an index with probability proportional to its weight.
+func (r *rng) pickIndex(weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.intn(total)
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// pick draws one option from a weighted mix.
+func (r *rng) pick(shares []Share) string {
+	weights := make([]int, len(shares))
+	for i, s := range shares {
+		weights[i] = s.Weight
+	}
+	return shares[r.pickIndex(weights)].Name
+}
+
+// SpecFor derives home i's spec from the fleet seed alone; it never looks
+// at other homes, so specs can be produced in any order.
+func (c Config) SpecFor(i int) HomeSpec {
+	c = c.withDefaults()
+	r := &rng{s: c.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15}
+
+	// Household size: pick a band by weight, then uniform within it.
+	weights := make([]int, len(c.Sizes))
+	for bi, b := range c.Sizes {
+		weights[bi] = b.Weight
+	}
+	band := c.Sizes[r.pickIndex(weights)]
+	size := band.Min
+	if band.Max > band.Min {
+		size += r.intn(band.Max - band.Min + 1)
+	}
+	registry := device.Registry()
+	if size > len(registry) {
+		size = len(registry)
+	}
+
+	// Sample the device subset: partial Fisher-Yates over the registry
+	// indexes, then restore Table 10 order.
+	perm := make([]int, len(registry))
+	for j := range perm {
+		perm[j] = j
+	}
+	for j := 0; j < size; j++ {
+		k := j + r.intn(len(perm)-j)
+		perm[j], perm[k] = perm[k], perm[j]
+	}
+	idx := append([]int(nil), perm[:size]...)
+	sortInts(idx)
+	names := make([]string, len(idx))
+	for j, di := range idx {
+		names[j] = registry[di].Name
+	}
+
+	return HomeSpec{
+		Index:         i,
+		DeviceIndexes: idx,
+		Devices:       names,
+		ConfigID:      r.pick(c.Connectivity),
+		Policy:        r.pick(c.Policies),
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// HomeResult is one home's measured outcome.
+type HomeResult struct {
+	Spec HomeSpec
+
+	// Funnel outcomes over the home's single connectivity run, counted in
+	// devices (the per-home slice of the paper's Table 3 stages).
+	Devices    int
+	NDP        int
+	Addr       int
+	GUA        int
+	AAAAReq    int
+	InternetV6 int
+	Functional int
+
+	// DAD compliance (§5.2.1) and EUI-64 exposure (§5.4.1) per home.
+	DADSkipping int
+	DADNever    int
+	EUI64Assign int
+	EUI64Use    int
+
+	// FramesCaptured is the home run's capture length.
+	FramesCaptured int
+
+	// Exposure holds the WAN-vantage inbound scan under the home's
+	// policy; nil for IPv4-only homes or when the scan is skipped.
+	Exposure *experiment.PolicyExposure
+}
+
+// runHome builds and runs one fully self-contained home.
+func runHome(cfg Config, spec HomeSpec) (*HomeResult, error) {
+	reg := device.Registry()
+	profiles := make([]*device.Profile, len(spec.DeviceIndexes))
+	for j, di := range spec.DeviceIndexes {
+		profiles[j] = reg[di]
+	}
+	st := experiment.NewStudyWith(experiment.StudyOptions{
+		Devices:         profiles,
+		MaxFramesPerRun: cfg.MaxFramesPerRun,
+	})
+	ec, ok := experiment.ConfigByID(spec.ConfigID)
+	if !ok {
+		return nil, fmt.Errorf("unknown connectivity config %q", spec.ConfigID)
+	}
+	res, err := st.RunExperiment(ec)
+	if err != nil {
+		return nil, err
+	}
+	st.Results = append(st.Results, res)
+	ds := analysis.FromStudy(st)
+
+	hr := &HomeResult{Spec: spec, Devices: len(profiles), FramesCaptured: res.Capture.Len()}
+	obs := ds.Exps[0]
+	overV6 := true
+	for _, p := range st.Profiles {
+		if res.Functional[p.Name] {
+			hr.Functional++
+		}
+		d := obs.Devices[p.Name]
+		if d == nil {
+			continue
+		}
+		if d.NDP {
+			hr.NDP++
+		}
+		if len(d.Assigned) > 0 {
+			hr.Addr++
+		}
+		if d.HasAddr(addr.KindGUA) {
+			hr.GUA++
+		}
+		if d.QueriedAAAA(&overV6) {
+			hr.AAAAReq++
+		}
+		if d.InternetV6 {
+			hr.InternetV6++
+		}
+	}
+	dad := ds.DADAudit()
+	hr.DADSkipping = dad.DevicesSkipping
+	hr.DADNever = dad.DevicesNeverDAD
+	eui := ds.EUI64Exposure()
+	hr.EUI64Assign = eui.Assign
+	hr.EUI64Use = eui.Use
+
+	if ec.Router.IPv6 && !cfg.SkipExposure {
+		pol, err := firewall.ByName(spec.Policy)
+		if err != nil {
+			return nil, err
+		}
+		if ph, ok := pol.(firewall.Pinhole); ok && len(ph.Rules) == 0 {
+			pol = firewall.Pinhole{Rules: experiment.DefaultPinholes(st.Profiles)}
+		}
+		rep, err := st.RunFirewallExposureUnder(ec, []firewall.Policy{pol})
+		if err != nil {
+			return nil, err
+		}
+		hr.Exposure = &rep.Policies[0]
+	}
+	return hr, nil
+}
+
+// Population is a completed fleet run: per-home results in home index
+// order plus the resolved configuration that produced them.
+type Population struct {
+	Cfg   Config
+	Homes []*HomeResult
+}
+
+// Run executes the fleet: Homes independent simulated homes on a bounded
+// worker pool. Results are merged in home index order, so the returned
+// Population (and anything rendered from it) is byte-identical for any
+// worker count.
+func Run(cfg Config) (*Population, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Homes <= 0 {
+		return nil, fmt.Errorf("fleet: Homes must be positive, got %d", cfg.Homes)
+	}
+	results := make([]*HomeResult, cfg.Homes)
+	errs := make([]error, cfg.Homes)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers > cfg.Homes {
+		workers = cfg.Homes
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = runHome(cfg, cfg.SpecFor(i))
+			}
+		}()
+	}
+	for i := 0; i < cfg.Homes; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: home %d: %w", i, err)
+		}
+	}
+	return &Population{Cfg: cfg, Homes: results}, nil
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"v6lab/internal/fleet"
+)
+
+// Fleet renders the population-level results of a multi-home fleet run:
+// the per-config funnel prevalence, functionality and privacy prevalence
+// across homes, and inbound exposure by firewall policy. The layout is
+// deliberately worker-count-free so the rendering is byte-identical for
+// any fleet parallelism.
+func Fleet(p *fleet.Population) string {
+	a := p.Aggregate()
+	var w strings.Builder
+	pctH := func(n int) float64 {
+		if a.Homes == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(a.Homes)
+	}
+
+	title := fmt.Sprintf("Fleet — %d simulated homes (seed %d), %d devices total",
+		a.Homes, p.Cfg.Seed, a.Devices)
+	fmt.Fprintf(&w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&w, "household sizes %d-%d devices; %d frames captured across all homes\n\n",
+		a.SizeMin, a.SizeMax, a.FramesCaptured)
+
+	fmt.Fprintf(&w, "Connectivity funnel by Table 2 config (devices reaching each stage)\n")
+	fmt.Fprintf(&w, "%-22s %5s %5s %5s %5s %5s %5s %5s %6s %7s\n",
+		"Config", "Homes", "Devs", "NDP", "Addr", "GUA", "AAAA", "Data", "Func", "Func%")
+	for _, ca := range a.ByConfig {
+		funcPct := 0.0
+		if ca.Devices > 0 {
+			funcPct = 100 * float64(ca.Functional) / float64(ca.Devices)
+		}
+		fmt.Fprintf(&w, "%-22s %5d %5d %5d %5d %5d %5d %5d %6d %6.1f%%\n",
+			ca.ID, ca.Homes, ca.Devices, ca.NDP, ca.Addr, ca.GUA,
+			ca.AAAAReq, ca.InternetV6, ca.Functional, funcPct)
+	}
+
+	fmt.Fprintf(&w, "\nPopulation prevalence (share of homes)\n")
+	fmt.Fprintf(&w, "  homes with >=1 bricked device        %4d  (%.1f%%)\n", a.HomesBricked, pctH(a.HomesBricked))
+	fmt.Fprintf(&w, "  homes fully functional               %4d  (%.1f%%)\n", a.HomesAllOK, pctH(a.HomesAllOK))
+	fmt.Fprintf(&w, "  homes with >=1 DAD-skipping device   %4d  (%.1f%%), %d devices (%d never probe)\n",
+		a.HomesDADSkip, pctH(a.HomesDADSkip), a.DADSkipDevices, a.DADNeverDevices)
+	fmt.Fprintf(&w, "  homes exposing EUI-64 GUAs           %4d  (%.1f%%), %d devices\n",
+		a.HomesEUI64, pctH(a.HomesEUI64), a.EUI64UseDevices)
+
+	if len(a.ByPolicy) > 0 {
+		fmt.Fprintf(&w, "\nInbound IPv6 exposure by firewall policy (WAN-vantage scan, v6-enabled homes)\n")
+		fmt.Fprintf(&w, "%-10s %5s %7s %7s %8s %9s %9s\n",
+			"Policy", "Homes", "DevPrb", "DevRch", "PortRch", "HomesExp", "HomesExp%")
+		for _, pa := range a.ByPolicy {
+			expPct := 0.0
+			if pa.Homes > 0 {
+				expPct = 100 * float64(pa.HomesExposed) / float64(pa.Homes)
+			}
+			fmt.Fprintf(&w, "%-10s %5d %7d %7d %8d %9d %8.1f%%\n",
+				pa.Policy, pa.Homes, pa.DevicesProbed, pa.DevicesReachable,
+				pa.PortsReachable, pa.HomesExposed, expPct)
+		}
+	}
+	return w.String()
+}

@@ -20,6 +20,7 @@ import (
 	"v6lab/internal/analysis"
 	"v6lab/internal/experiment"
 	"v6lab/internal/firewall"
+	"v6lab/internal/fleet"
 	"v6lab/internal/report"
 )
 
@@ -51,13 +52,17 @@ const (
 	// vantage under each inbound-IPv6 firewall policy (§6's
 	// countermeasure space). Requires RunFirewallComparison.
 	Firewall Artifact = "firewall"
+	// FleetStudy extends the paper from one testbed home to a population:
+	// N independent simulated homes run in parallel and aggregate into
+	// population-level prevalence results. Requires RunFleet.
+	FleetStudy Artifact = "fleet"
 )
 
 // Artifacts lists every artifact in report order.
 var Artifacts = []Artifact{
 	Table3, Figure2, Table4, Table5, Table6, Figure3, Figure4, Table7,
 	Table8, Table9, Table10, Table12, Table13, Figure5, DADAudit, Ports, Tracking,
-	FuncMatrix, Firewall,
+	FuncMatrix, Firewall, FleetStudy,
 }
 
 // Lab is the top-level handle: a configured study plus, after Run, the
@@ -68,6 +73,9 @@ type Lab struct {
 	// FirewallCmp holds the policy-comparison results once
 	// RunFirewallComparison has run.
 	FirewallCmp *experiment.FirewallReport
+	// FleetPop holds the multi-home population results once RunFleet has
+	// run.
+	FleetPop *fleet.Population
 }
 
 // New builds the testbed (devices, workload plans, simulated cloud).
@@ -115,6 +123,25 @@ func (l *Lab) RunFirewallComparison(policyNames ...string) error {
 	return nil
 }
 
+// RunFleet simulates a population of n independent homes with the default
+// fleet configuration (household-size distribution, connectivity and
+// firewall-policy mixes, GOMAXPROCS workers). Results land in FleetPop
+// and the FleetStudy artifact. It is independent of Run: either may run
+// first, or alone.
+func (l *Lab) RunFleet(n int) error {
+	return l.RunFleetWith(fleet.Config{Homes: n})
+}
+
+// RunFleetWith is RunFleet with full control over the population.
+func (l *Lab) RunFleetWith(cfg fleet.Config) error {
+	pop, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	l.FleetPop = pop
+	return nil
+}
+
 // ensure panics helpfully when Report is called before Run.
 func (l *Lab) ensure() {
 	if l.Data == nil {
@@ -125,6 +152,14 @@ func (l *Lab) ensure() {
 // Report renders one artifact as text, side by side with the paper's
 // published values.
 func (l *Lab) Report(a Artifact) string {
+	// The fleet artifact derives from its own population run, not from
+	// the single-home dataset, so it renders without Run.
+	if a == FleetStudy {
+		if l.FleetPop == nil {
+			return "Fleet population study: not run (pass -fleet N or call Lab.RunFleet)\n"
+		}
+		return report.Fleet(l.FleetPop)
+	}
 	l.ensure()
 	ds := l.Data
 	switch a {

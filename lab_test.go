@@ -1,6 +1,7 @@
 package v6lab
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
@@ -96,17 +97,49 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	if err := b.Run(); err != nil {
 		t.Fatal(err)
 	}
-	for _, art := range []Artifact{Table3, Table5, Table9, Figure5} {
-		ra, rb := a.Report(art), b.Report(art)
-		if ra != rb {
-			t.Errorf("artifact %s differs between runs:\n%s\nvs\n%s", art, head(ra), head(rb))
+	// Every artifact, rendered together: the full reports must match to
+	// the byte.
+	if ra, rb := a.FullReport(), b.FullReport(); ra != rb {
+		i := 0
+		for i < len(ra) && i < len(rb) && ra[i] == rb[i] {
+			i++
+		}
+		lo := i - 100
+		if lo < 0 {
+			lo = 0
+		}
+		t.Errorf("full reports differ between runs at byte %d:\n...%s\nvs\n...%s",
+			i, ra[lo:min(i+100, len(ra))], rb[lo:min(i+100, len(rb))])
+	}
+	// The raw captures too: one pcap per experiment, byte-identical.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := a.SavePcaps(dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SavePcaps(dirB); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dirA, "*.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 6 {
+		t.Fatalf("pcap files = %d, want 6", len(matches))
+	}
+	for _, pa := range matches {
+		name := filepath.Base(pa)
+		da, err := os.ReadFile(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(da, db) {
+			t.Errorf("%s differs between runs (%d vs %d bytes)", name, len(da), len(db))
 		}
 	}
-}
-
-func head(s string) string {
-	lines := strings.SplitN(s, "\n", 6)
-	return strings.Join(lines, "\n")
 }
 
 func TestExportCSV(t *testing.T) {
