@@ -2,7 +2,6 @@ package v6lab
 
 import (
 	"v6lab/internal/analysis"
-	"v6lab/internal/experiment"
 )
 
 // Options selects counterfactual mitigations for ablation studies — the
@@ -23,8 +22,11 @@ type Options struct {
 
 // NewWithOptions builds a lab with the given mitigations applied to every
 // device profile (and, for AAAAEverywhere, to the simulated Internet).
-func NewWithOptions(opts Options) *Lab {
-	st := experiment.NewStudy()
+// Functional options (WithDevices, WithFaultProfile, ...) compose with the
+// ablations.
+func NewWithOptions(opts Options, extra ...Option) *Lab {
+	l := New(extra...)
+	st := l.Study
 	for _, p := range st.Profiles {
 		if opts.ForcePrivacyExtensions {
 			p.EUI64 = false
@@ -50,7 +52,7 @@ func NewWithOptions(opts Options) *Lab {
 			}
 		}
 	}
-	return &Lab{Study: st}
+	return l
 }
 
 // EUI64Exposure is a convenience accessor for ablation comparisons.

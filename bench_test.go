@@ -77,6 +77,19 @@ func BenchmarkDADAudit(b *testing.B)                { benchArtifact(b, DADAudit)
 func BenchmarkPortScan(b *testing.B)                { benchArtifact(b, Ports) }
 func BenchmarkTrackingDomains(b *testing.B)         { benchArtifact(b, Tracking) }
 
+// BenchmarkResilience measures the impairment grid end to end on a small
+// streaming-heavy population: four fault profiles, six connectivity
+// experiments each, with the retry/PMTUD machinery active. The grid is
+// deterministic, so the work per iteration is fixed.
+func BenchmarkResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := New(WithDevices("TiVo Stream", "Apple TV", "Google Home Mini", "Nest Hub", "Wyze Cam"))
+		if err := lab.Run(Resilience()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkObserve isolates the packet-analysis stage: re-extracting the
 // per-device observations from the largest experiment capture.
 func BenchmarkObserve(b *testing.B) {

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare]
-//	      [-fleet 100 -workers 8 -fleet-seed 1] [-list]
+//	      [-fleet 100 -workers 8 -fleet-seed 1] [-resilience] [-fault lossy-wifi]
+//	      [-seed 1] [-list]
 //
 // Without -artifact, every artifact is printed in report order. The
 // command takes no positional arguments; unknown flags or arguments exit
@@ -12,50 +13,66 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"v6lab"
+	"v6lab/internal/device"
+	"v6lab/internal/faults"
 	"v6lab/internal/fleet"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	artifact := flag.String("artifact", "", "render a single artifact (e.g. table3, figure5); empty = all")
-	pcapDir := flag.String("pcap-dir", "", "write one pcap file per connectivity experiment into this directory")
-	csvDir := flag.String("csv-dir", "", "write plot-ready CSV series into this directory")
-	list := flag.Bool("list", false, "list artifact names and exit")
-	privacyExt := flag.Bool("privacy-ext", false, "ablation: force RFC 8981 privacy extensions on every device")
-	forceDAD := flag.Bool("force-dad", false, "ablation: force RFC 4862 DAD compliance on every device")
-	aaaaEverywhere := flag.Bool("aaaa-everywhere", false, "ablation: publish AAAA records for every destination")
-	fwPolicy := flag.String("firewall", "", "re-run the §5.4.2 scan from a WAN vantage under an inbound-IPv6 policy: open|stateful|pinhole, or compare for all three")
-	fleetN := flag.Int("fleet", 0, "simulate a population of N independent homes and render the fleet artifact")
-	workers := flag.Int("workers", 0, "fleet worker-pool size; 0 = GOMAXPROCS (aggregates are identical for any value)")
-	fleetSeed := flag.Uint64("fleet-seed", 1, "fleet population seed; identical seeds reproduce the population exactly")
-	flag.Parse()
+// run is the testable entry point: it parses args, runs the requested
+// studies, and writes reports to stdout and progress/diagnostics to
+// stderr, returning the process exit code (0 ok, 1 runtime failure,
+// 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("v6lab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	artifact := fs.String("artifact", "", "render a single artifact (e.g. table3, figure5); empty = all")
+	pcapDir := fs.String("pcap-dir", "", "write one pcap file per connectivity experiment into this directory")
+	csvDir := fs.String("csv-dir", "", "write plot-ready CSV series into this directory")
+	list := fs.Bool("list", false, "list artifact names and exit")
+	privacyExt := fs.Bool("privacy-ext", false, "ablation: force RFC 8981 privacy extensions on every device")
+	forceDAD := fs.Bool("force-dad", false, "ablation: force RFC 4862 DAD compliance on every device")
+	aaaaEverywhere := fs.Bool("aaaa-everywhere", false, "ablation: publish AAAA records for every destination")
+	fwPolicy := fs.String("firewall", "", "re-run the §5.4.2 scan from a WAN vantage under an inbound-IPv6 policy: open|stateful|pinhole, or compare for all three")
+	fleetN := fs.Int("fleet", 0, "simulate a population of N independent homes and render the fleet artifact")
+	workers := fs.Int("workers", 0, "fleet worker-pool size; 0 = GOMAXPROCS (aggregates are identical for any value)")
+	fleetSeed := fs.Uint64("fleet-seed", 1, "fleet population seed; identical seeds reproduce the population exactly")
+	resilience := fs.Bool("resilience", false, "re-run the connectivity grid under the impairment profiles and render the resilience artifact")
+	faultName := fs.String("fault", "", "run the whole lab under one impairment profile: clean|lossy-wifi|clamped-tunnel|flaky-dnsmasq")
+	seed := fs.Uint64("seed", 1, "impairment seed for -fault and -resilience; identical seeds reproduce runs byte-for-byte")
+	devices := fs.String("devices", "", "comma-separated device names restricting the testbed (default: the full registry)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "v6lab: unknown argument %q (the command takes no subcommands)\n", flag.Arg(0))
-		flag.Usage()
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "v6lab: unknown argument %q (the command takes no subcommands)\n", fs.Arg(0))
+		fs.Usage()
 		return 2
 	}
 
 	if *list {
 		for _, a := range v6lab.Artifacts {
-			fmt.Println(a)
+			fmt.Fprintln(stdout, a)
 		}
 		return 0
 	}
 
 	if *artifact != "" && !knownArtifact(*artifact) {
-		fmt.Fprintf(os.Stderr, "v6lab: unknown artifact %q; known artifacts:\n", *artifact)
+		fmt.Fprintf(stderr, "v6lab: unknown artifact %q; known artifacts:\n", *artifact)
 		for _, a := range v6lab.Artifacts {
-			fmt.Fprintf(os.Stderr, "  %s\n", a)
+			fmt.Fprintf(stderr, "  %s\n", a)
 		}
 		return 2
 	}
@@ -69,75 +86,132 @@ func run() int {
 	case "open", "stateful", "pinhole":
 		fwPolicies = []string{*fwPolicy}
 	default:
-		fmt.Fprintf(os.Stderr, "v6lab: unknown firewall policy %q (want open|stateful|pinhole|compare)\n", *fwPolicy)
+		fmt.Fprintf(stderr, "v6lab: unknown firewall policy %q (want open|stateful|pinhole|compare)\n", *fwPolicy)
 		return 2
 	}
 
 	if *fleetN < 0 {
-		fmt.Fprintf(os.Stderr, "v6lab: -fleet wants a positive home count, got %d\n", *fleetN)
+		fmt.Fprintf(stderr, "v6lab: -fleet wants a positive home count, got %d\n", *fleetN)
 		return 2
 	}
 	if (*workers != 0 || *fleetSeed != 1) && *fleetN == 0 {
-		fmt.Fprintln(os.Stderr, "v6lab: -workers and -fleet-seed only apply together with -fleet N")
+		fmt.Fprintln(stderr, "v6lab: -workers and -fleet-seed only apply together with -fleet N")
 		return 2
+	}
+
+	var labOpts []v6lab.Option
+	if *devices != "" {
+		var names []string
+		for _, n := range strings.Split(*devices, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if device.Find(device.Registry(), n) == nil {
+				fmt.Fprintf(stderr, "v6lab: unknown device %q (see the registry for names)\n", n)
+				return 2
+			}
+			names = append(names, n)
+		}
+		labOpts = append(labOpts, v6lab.WithDevices(names...))
+	}
+	if *seed != 1 {
+		labOpts = append(labOpts, v6lab.WithSeed(*seed))
+	}
+	if *faultName != "" {
+		p, err := faults.ByName(*faultName)
+		if err != nil {
+			fmt.Fprintf(stderr, "v6lab: %v\n", err)
+			return 2
+		}
+		labOpts = append(labOpts, v6lab.WithFaultProfile(p))
 	}
 
 	lab := v6lab.NewWithOptions(v6lab.Options{
 		ForcePrivacyExtensions: *privacyExt,
 		ForceDAD:               *forceDAD,
 		AAAAEverywhere:         *aaaaEverywhere,
-	})
+	}, labOpts...)
 
 	if *fleetN > 0 {
-		fmt.Fprintf(os.Stderr, "simulating a fleet of %d homes (seed %d, workers %d)...\n",
+		fmt.Fprintf(stderr, "simulating a fleet of %d homes (seed %d, workers %d)...\n",
 			*fleetN, *fleetSeed, *workers)
-		if err := lab.RunFleetWith(fleet.Config{Homes: *fleetN, Workers: *workers, Seed: *fleetSeed}); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+		if err := lab.Run(v6lab.FleetWith(fleet.Config{Homes: *fleetN, Workers: *workers, Seed: *fleetSeed})); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
 		// The fleet artifact needs no single-home study: render and exit.
-		if *artifact == string(v6lab.FleetStudy) && *pcapDir == "" && *csvDir == "" && *fwPolicy == "" {
-			fmt.Print(lab.Report(v6lab.FleetStudy))
-			return 0
+		if *artifact == string(v6lab.FleetStudy) && *pcapDir == "" && *csvDir == "" && *fwPolicy == "" && !*resilience {
+			return render(lab, v6lab.FleetStudy, stdout, stderr)
 		}
 	}
 
-	fmt.Fprintln(os.Stderr, "running the six connectivity experiments, active DNS queries, and port scans...")
+	if *resilience {
+		fmt.Fprintln(stderr, "running the resilience impairment grid (profiles x connectivity configurations)...")
+		if err := lab.Run(v6lab.Resilience()); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		// Like the fleet artifact, the grid needs no single-home study:
+		// with nothing else requested, render it and exit.
+		if (*artifact == "" || *artifact == string(v6lab.ResilienceStudy)) &&
+			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 {
+			return render(lab, v6lab.ResilienceStudy, stdout, stderr)
+		}
+	}
+
+	fmt.Fprintln(stderr, "running the six connectivity experiments, active DNS queries, and port scans...")
 	if err := lab.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
 	for _, res := range lab.Study.Results {
-		fmt.Fprintf(os.Stderr, "  %-22s %6d frames captured\n", res.Config.ID, res.Capture.Len())
+		fmt.Fprintf(stderr, "  %-22s %6d frames captured\n", res.Config.ID, res.Capture.Len())
 	}
 	if *fwPolicy != "" {
-		fmt.Fprintln(os.Stderr, "running the WAN-vantage firewall policy comparison...")
-		if err := lab.RunFirewallComparison(fwPolicies...); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+		fmt.Fprintln(stderr, "running the WAN-vantage firewall policy comparison...")
+		if err := lab.Run(v6lab.FirewallComparison(fwPolicies...)); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
 	}
 
 	if *pcapDir != "" {
 		if err := lab.SavePcaps(*pcapDir); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "pcaps written to %s\n", *pcapDir)
+		fmt.Fprintf(stderr, "pcaps written to %s\n", *pcapDir)
 	}
 	if *csvDir != "" {
 		if err := lab.ExportCSV(*csvDir); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *csvDir)
+		fmt.Fprintf(stderr, "CSV series written to %s\n", *csvDir)
 	}
 
 	if *artifact != "" {
-		fmt.Print(lab.Report(v6lab.Artifact(*artifact)))
-		return 0
+		return render(lab, v6lab.Artifact(*artifact), stdout, stderr)
 	}
-	fmt.Print(lab.FullReport())
+	fmt.Fprint(stdout, lab.FullReport())
+	return 0
+}
+
+// render writes one artifact through the error-aware report API; an
+// unknown artifact (possible only when the up-front check is bypassed)
+// exits non-zero instead of printing a placeholder.
+func render(lab *v6lab.Lab, a v6lab.Artifact, stdout, stderr io.Writer) int {
+	out, err := lab.ReportErr(a)
+	if err != nil {
+		code := 1
+		if errors.Is(err, v6lab.ErrUnknownArtifact) {
+			code = 2
+		}
+		fmt.Fprintf(stderr, "v6lab: %v\n", err)
+		return code
+	}
+	fmt.Fprint(stdout, out)
 	return 0
 }
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes run with captured output streams.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	code, _, stderr := runCmd("-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Errorf("stderr missing flag error: %q", stderr)
+	}
+}
+
+func TestPositionalArgRejected(t *testing.T) {
+	code, _, stderr := runCmd("table3")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown argument") {
+		t.Errorf("stderr missing diagnosis: %q", stderr)
+	}
+}
+
+func TestUnknownArtifactListsKnownOnes(t *testing.T) {
+	code, _, stderr := runCmd("-artifact", "table99")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	for _, want := range []string{"unknown artifact", "table3", "resilience"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q: %q", want, stderr)
+		}
+	}
+}
+
+func TestUnknownFaultProfileRejected(t *testing.T) {
+	code, _, stderr := runCmd("-fault", "solar-flare")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "solar-flare") {
+		t.Errorf("stderr missing profile name: %q", stderr)
+	}
+}
+
+func TestUnknownDeviceRejected(t *testing.T) {
+	code, _, stderr := runCmd("-devices", "Quantum Toaster")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "Quantum Toaster") {
+		t.Errorf("stderr missing device name: %q", stderr)
+	}
+}
+
+func TestNegativeFleetRejected(t *testing.T) {
+	if code, _, _ := runCmd("-fleet", "-3"); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestWorkersWithoutFleetRejected(t *testing.T) {
+	if code, _, _ := runCmd("-workers", "4"); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestListIncludesEveryArtifact(t *testing.T) {
+	code, stdout, _ := runCmd("-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, want := range []string{"table3", "fleet", "firewall", "resilience"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-list missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestResilienceFlag runs the impairment grid end to end on a small
+// population and checks the artifact shape: the command exits 0, prints
+// only the resilience report, and the clamped tunnel shows up in it.
+func TestResilienceFlag(t *testing.T) {
+	code, stdout, stderr := runCmd("-resilience", "-devices", "TiVo Stream,Apple TV,Wyze Cam")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"Resilience", "clamped-tunnel", "lossy-wifi", "ipv6-only"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("resilience report missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "Table 3") {
+		t.Errorf("-resilience alone must not render the connectivity artifacts")
+	}
+}
+
+// TestResilienceArtifactSelection: -artifact resilience with -resilience
+// renders the grid, and asking for it without running reports not-run.
+func TestResilienceArtifactSelection(t *testing.T) {
+	code, stdout, _ := runCmd("-resilience", "-artifact", "resilience", "-devices", "Wyze Cam")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "Functional devices per configuration") {
+		t.Errorf("missing grid table:\n%s", stdout)
+	}
+}

@@ -113,6 +113,10 @@ type Profile struct {
 	// RequiresDHCPv6DNS: cannot learn resolvers from RDNSS alone (Vizio TV
 	// fails in the RDNSS-only configuration).
 	RequiresDHCPv6DNS bool
+	// NoPMTUD: the stack ignores ICMPv6 Packet-Too-Big, so behind a path
+	// with a reduced MTU (the resilience grid's clamped tunnel) its large
+	// IPv6 flows blackhole. No effect on an unimpaired network.
+	NoPMTUD bool
 
 	// --- DNS behaviour (§5.2.2) ---
 

@@ -158,7 +158,7 @@ var registry = []Profile{
 	{Name: "TiVo Stream", Category: TV, Manufacturer: "Tivo", OS: "Android", Year: 2021,
 		FunctionalV6Only: true,
 		NDP:              true, AssignAddr: true, GUA: true, LLA: true,
-		DNSOverV6: true, V6InternetData: true,
+		DNSOverV6: true, V6InternetData: true, NoPMTUD: true,
 		GUACount: 3,
 		AAAA:     true, AOnlyInV6: true, QueriesHTTPS: true,
 		V6LocalData: true, DualV6Share: 0.25, DomainWeight: 6},
@@ -376,7 +376,7 @@ var registry = []Profile{
 	{Name: "Google Home Mini", Category: Speaker, Manufacturer: "Google", OS: "Android", Year: 2018,
 		FunctionalV6Only: true,
 		NDP:              true, AssignAddr: true, GUA: true, ULA: true, LLA: true,
-		DNSOverV6: true, V6InternetData: true,
+		DNSOverV6: true, V6InternetData: true, NoPMTUD: true,
 		GUACount: 28, ULACount: 10,
 		AAAA: true, AAAAOverV4: true, AAAARespOverV4: true, AOnlyInV6: true, QueriesHTTPS: true,
 		V6LocalData: true, DualV6Share: 0.83, DomainWeight: 3},

@@ -68,15 +68,27 @@ type Stack struct {
 	nextDNSID  uint16
 	nextPort   uint16
 	conns      map[connKey]*conn
+	// connOrder preserves creation order so retry passes under
+	// impairment iterate deterministically (map order would not).
+	connOrder  []connKey
 	contacted  map[string]map[bool]bool // name -> family(v6?) -> contacted
 	essOK      map[string]bool
 	v6ByteEach int
 	v4ByteEach int
+	// dhcp6Pending tracks an in-flight DHCPv6 transaction (for retry
+	// under impairment); retransmits counts retry sends this run.
+	dhcp6Pending bool
+	retransmits  int
 }
 
 type pendingQuery struct {
 	specIdx int
 	qtype   dnsmsg.Type
+	// overV6/viaEUI64 record the transport so a lost query can be
+	// retransmitted identically; attempts bounds the retries.
+	overV6   bool
+	viaEUI64 bool
+	attempts int
 }
 
 type connKey struct {
@@ -96,6 +108,29 @@ type conn struct {
 	// needSNI forces a TLS hello even on tiny flows: vendor-configured
 	// literal endpoints are only attributable through it.
 	needSNI bool
+	// lastPayload retains the application payload (with its starting
+	// sequence number and peer ACK) so the flow can be retransmitted —
+	// resegmented after a Packet-Too-Big, or whole after loss.
+	lastPayload  []byte
+	payloadStart uint32
+	lastAck      uint32
+	// pmtu is the path MTU learned from ICMPv6 Packet-Too-Big (0 = none).
+	pmtu int
+	// synRetries / dataRetries bound the loss-recovery retransmits.
+	synRetries, dataRetries int
+}
+
+// segLimit returns the largest TCP payload one segment may carry: the
+// 16-bit-IP-length bound, tightened by any PMTU learned from a
+// Packet-Too-Big (40 bytes IPv6 header + 20 bytes TCP header).
+func (c *conn) segLimit() int {
+	const maxSeg = 32000
+	if c.pmtu > 0 {
+		if m := c.pmtu - 60; m > 0 && m < maxSeg {
+			return m
+		}
+	}
+	return maxSeg
 }
 
 // NewStack builds a device stack; idx gives the device a unique MAC with a
@@ -162,10 +197,13 @@ func (s *Stack) Reset(mode Mode, expSeq int) {
 	s.dhcp6ServerID = nil
 	s.pendingDNS = map[uint16]pendingQuery{}
 	s.conns = map[connKey]*conn{}
+	s.connOrder = nil
 	s.contacted = map[string]map[bool]bool{}
 	s.essOK = map[string]bool{}
 	s.nextDNSID = uint16(1000 + expSeq)
 	s.nextPort = 40000
+	s.dhcp6Pending = false
+	s.retransmits = 0
 }
 
 // ndpActive reports whether the device participates in IPv6 at all in the
@@ -587,7 +625,7 @@ func (s *Stack) sendDNSType(i int, t dnsmsg.Type, overV6, viaEUI64 bool) {
 	sp := &s.Plan.Specs[i]
 	s.nextDNSID++
 	id := s.nextDNSID
-	s.pendingDNS[id] = pendingQuery{specIdx: i, qtype: t}
+	s.pendingDNS[id] = pendingQuery{specIdx: i, qtype: t, overV6: overV6, viaEUI64: viaEUI64}
 	q := dnsmsg.NewQuery(id, sp.Name, t)
 	wire, err := q.Pack()
 	if err != nil {
@@ -666,7 +704,9 @@ func (s *Stack) openTCP(specIdx int, dst netip.Addr, name string, v6, viaEUI64 b
 	s.nextPort++
 	c := &conn{specIdx: specIdx, name: name, src: src, dst: dst, dport: 443, bytes: bytes, seq: 1,
 		needSNI: s.Plan.Specs[specIdx].NoDNS}
-	s.conns[connKey{dst: dst, sport: s.nextPort}] = c
+	key := connKey{dst: dst, sport: s.nextPort}
+	s.conns[key] = c
+	s.connOrder = append(s.connOrder, key)
 	s.sendTCP(src, dst, s.nextPort, 443, packet.TCPFlagSYN, c.seq, 0, nil)
 }
 
@@ -698,14 +738,10 @@ func (s *Stack) handleTCP(p *packet.Packet) {
 				}
 			}
 			s.sendTCP(c.src, c.dst, key.sport, c.dport, packet.TCPFlagACK, c.seq, t.Seq+1, nil)
-			// Large application payloads are segmented to respect the
-			// 16-bit IP length field.
-			const maxSeg = 32000
-			for off := 0; off < len(payload); off += maxSeg {
-				end := min(off+maxSeg, len(payload))
-				s.sendTCP(c.src, c.dst, key.sport, c.dport, packet.TCPFlagPSH|packet.TCPFlagACK, c.seq, t.Seq+1, payload[off:end])
-				c.seq += uint32(end - off)
-			}
+			c.lastPayload = payload
+			c.payloadStart = c.seq
+			c.lastAck = t.Seq + 1
+			s.sendPayload(key, c)
 			c.state = 1
 		case t.HasFlag(packet.TCPFlagRST):
 			c.state = 3
@@ -969,6 +1005,8 @@ func (s *Stack) handleICMPv6(p *packet.Packet) {
 			dst = addr.AllNodesMulticast
 		}
 		s.sendICMPv6(ns.Target, dst, packet.ICMPv6TypeNeighborAdvert, na.MarshalBody())
+	case packet.ICMPv6TypePacketTooBig:
+		s.handlePacketTooBig(ic.Body)
 	case packet.ICMPv6TypeEchoRequest:
 		// Reply to pings addressed to us (including all-nodes multicast,
 		// the scanner's address-harvesting trick), directly to the
@@ -1029,6 +1067,7 @@ func (s *Stack) handleDHCP6(p *packet.Packet) {
 			}
 		}
 	case dhcp6.Reply:
+		s.dhcp6Pending = false
 		if m.IANA != nil && len(m.IANA.Addrs) > 0 {
 			s.statefulAddr = m.IANA.Addrs[0].Addr
 		}
@@ -1148,6 +1187,9 @@ func (s *Stack) sendDHCP6(m *dhcp6.Message, src netip.Addr) {
 	if err != nil {
 		return
 	}
+	// Every client message opens (or keeps open) a transaction awaiting a
+	// server reply; RetryConfig retransmits while this stays set.
+	s.dhcp6Pending = true
 	dst := netip.MustParseAddr(dhcp6.AllRelayAgentsAndServers)
 	frame, err := packet.Serialize(
 		&packet.Ethernet{Dst: addr.MulticastMAC(dst), Src: s.MAC, Type: packet.EtherTypeIPv6},

@@ -12,6 +12,7 @@ import (
 	"v6lab/internal/cloud"
 	"v6lab/internal/device"
 	"v6lab/internal/dnsmsg"
+	"v6lab/internal/faults"
 	"v6lab/internal/netsim"
 	"v6lab/internal/packet"
 	"v6lab/internal/pcapio"
@@ -92,6 +93,18 @@ type RunResult struct {
 	Leases4 map[packet.MAC]netip.Addr
 	// FramesDelivered counts L2 deliveries (a capacity diagnostic).
 	FramesDelivered int
+	// FramesDropped counts frames the installed impairment swallowed
+	// (always 0 on a clean network).
+	FramesDropped int
+	// Retransmits counts the retry transmissions devices made to recover
+	// from impairment.
+	Retransmits int
+	// PTBSent counts ICMPv6 Packet-Too-Big errors the clamped tunnel
+	// emitted.
+	PTBSent int
+	// ServiceDrops counts router service messages (RA / DHCPv6 / DNS
+	// replies) the fault schedule suppressed.
+	ServiceDrops int
 }
 
 // AAAAResult records the active DNS experiment's verdict for one domain.
@@ -121,6 +134,13 @@ type Study struct {
 
 	// MaxFramesPerRun bounds each experiment's frame deliveries.
 	MaxFramesPerRun int
+
+	// Faults, when non-nil, impairs every experiment: the link model is
+	// installed on the switch and the service-fault schedule on the
+	// router, and the retry passes run between phases. Nil (the default)
+	// is the perfect network and leaves every run byte-identical to a
+	// study built without fault support.
+	Faults *faults.Profile
 }
 
 // StudyOptions parameterizes testbed construction. The zero value builds
@@ -140,6 +160,10 @@ type StudyOptions struct {
 	// MaxFramesPerRun bounds each experiment's frame deliveries; 0 means
 	// the default 3,000,000.
 	MaxFramesPerRun int
+	// Faults installs a deterministic impairment profile on every
+	// experiment the study runs. Inactive profiles (see faults.Profile)
+	// are ignored; nil means a perfect network.
+	Faults *faults.Profile
 }
 
 // NewStudy builds the testbed: 93 device stacks, their workload plans, and
@@ -180,6 +204,13 @@ func NewStudyWith(opts StudyOptions) *Study {
 		ActiveDNS:       map[string]AAAAResult{},
 		MaxFramesPerRun: maxFrames,
 	}
+	if opts.Faults != nil && opts.Faults.Active() {
+		fp := *opts.Faults
+		if fp.Seed == 0 {
+			fp.Seed = 1
+		}
+		st.Faults = &fp
+	}
 	for i, p := range profiles {
 		s := device.NewStack(p, plans[i], i, prefixes)
 		st.Stacks = append(st.Stacks, s)
@@ -214,6 +245,12 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 
 	rt := router.New(cfg.Router, st.Cloud)
 	rt.Attach(net)
+	if st.Faults != nil {
+		// Per-experiment sub-seed: the six runs see different (but
+		// reproducible) frame fates from the same profile seed.
+		net.SetImpairment(faults.NewLink(*st.Faults, faults.SubSeed(st.Faults.Seed, cfg.ID)))
+		rt.Faults = faults.NewServices(*st.Faults, st.Clock)
+	}
 	for _, s := range st.Stacks {
 		s.Attach(net)
 		s.Reset(cfg.Mode, cfg.V6Seq)
@@ -227,6 +264,11 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 	}
 	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
 		return nil, err
+	}
+	if st.Faults != nil {
+		if err := st.retryRounds(net, (*device.Stack).RetryConfig); err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 2: DAD completes; addresses are announced.
@@ -244,6 +286,11 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
 		return nil, err
 	}
+	if st.Faults != nil {
+		if err := st.retryRounds(net, (*device.Stack).RetryWorkload); err != nil {
+			return nil, err
+		}
+	}
 
 	// Phase 4: functionality test (§4.1).
 	res := &RunResult{
@@ -259,9 +306,39 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 		if lease, ok := rt.LeaseFor(s.MAC); ok {
 			res.Leases4[s.MAC] = lease
 		}
+		res.Retransmits += s.Retransmits()
+	}
+	if st.Faults != nil {
+		res.FramesDropped = net.Dropped()
+		res.PTBSent = rt.PTBSent
+		res.ServiceDrops = rt.Faults.RAsDropped + rt.Faults.DHCPv6Dropped + rt.Faults.AAAADropped
 	}
 	st.Clock.Advance(time.Hour)
 	return res, nil
+}
+
+// retryRounds models client retransmit timers under impairment: advance
+// the clock past a backoff interval, let every stack retransmit whatever
+// went unanswered, and drain the network; repeat until a round sends
+// nothing. The per-stack retry caps bound it, with 4 rounds (the ballpark
+// of RFC 4861's MAX_RTR_SOLICITATIONS) as a backstop.
+func (st *Study) retryRounds(net *netsim.Network, retry func(*device.Stack) int) error {
+	backoff := 4 * time.Second
+	for round := 0; round < 4; round++ {
+		st.Clock.Advance(backoff)
+		backoff *= 2
+		sent := 0
+		for _, s := range st.Stacks {
+			sent += retry(s)
+		}
+		if sent == 0 {
+			return nil
+		}
+		if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunActiveDNS performs the §4.3 active measurement: AAAA queries for

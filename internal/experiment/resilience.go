@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+
+	"v6lab/internal/faults"
+)
+
+// ResilienceConfig aggregates one Table 2 experiment's outcome under one
+// impairment profile.
+type ResilienceConfig struct {
+	// ID is the experiment slug ("ipv6-only-stateful").
+	ID string
+	// Devices and Functional count the population and how many passed the
+	// functionality test.
+	Devices, Functional int
+	// Failures histograms device.FailureStage over the population
+	// ("ok", "no-ra", "data-stalled", ...).
+	Failures map[string]int
+	// FailedDevices lists the non-functional device names in registry
+	// order (the report cross-references profiles with them).
+	FailedDevices []string
+	// Diagnostics carried over from the RunResult.
+	FramesDelivered, FramesDropped, Retransmits, PTBSent, ServiceDrops int
+}
+
+// ResilienceProfile is the full Table 2 grid under one impairment profile.
+type ResilienceProfile struct {
+	Profile  faults.Profile
+	ByConfig []ResilienceConfig
+	// FunctionalTotal sums functional device-runs across the grid.
+	FunctionalTotal int
+}
+
+// ResilienceReport is the artifact of the impairment-grid experiment: the
+// six connectivity configurations re-run under each fault profile.
+type ResilienceReport struct {
+	// Devices is the per-config population size.
+	Devices int
+	// Profiles holds one grid per impairment profile, in the order given.
+	Profiles []*ResilienceProfile
+}
+
+// Config returns the outcome for (profile, config id), or nil.
+func (r *ResilienceReport) Config(profile, id string) *ResilienceConfig {
+	for _, p := range r.Profiles {
+		if p.Profile.Name != profile {
+			continue
+		}
+		for i := range p.ByConfig {
+			if p.ByConfig[i].ID == id {
+				return &p.ByConfig[i]
+			}
+		}
+	}
+	return nil
+}
+
+// RunResilience re-runs the Table 2 connectivity grid under each fault
+// profile (faults.Grid() when profiles is empty) and reports per-profile
+// functionality and failure modes. Each profile gets a fresh, isolated
+// study built from opts, so impairment in one profile cannot leak state
+// into another; the whole experiment is deterministic in (opts, profiles).
+func RunResilience(opts StudyOptions, profiles ...faults.Profile) (*ResilienceReport, error) {
+	if len(profiles) == 0 {
+		profiles = faults.Grid()
+	}
+	rep := &ResilienceReport{}
+	for _, p := range profiles {
+		o := opts
+		fp := p
+		o.Faults = &fp
+		st := NewStudyWith(o)
+		rep.Devices = len(st.Stacks)
+		po := &ResilienceProfile{Profile: p}
+		for _, cfg := range Configs {
+			res, err := st.RunExperiment(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("resilience %s/%s: %w", p.Name, cfg.ID, err)
+			}
+			rc := ResilienceConfig{
+				ID:              cfg.ID,
+				Devices:         len(st.Stacks),
+				Failures:        map[string]int{},
+				FramesDelivered: res.FramesDelivered,
+				FramesDropped:   res.FramesDropped,
+				Retransmits:     res.Retransmits,
+				PTBSent:         res.PTBSent,
+				ServiceDrops:    res.ServiceDrops,
+			}
+			// Diagnose while the stacks still hold this experiment's state.
+			for _, s := range st.Stacks {
+				stage := s.FailureStage()
+				rc.Failures[stage]++
+				if stage == "ok" {
+					rc.Functional++
+				} else {
+					rc.FailedDevices = append(rc.FailedDevices, s.Prof.Name)
+				}
+			}
+			po.ByConfig = append(po.ByConfig, rc)
+			po.FunctionalTotal += rc.Functional
+		}
+		rep.Profiles = append(rep.Profiles, po)
+	}
+	return rep, nil
+}

@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"testing"
+
+	"v6lab/internal/pcapio"
+)
+
+// scriptedImpairment replays a fixed verdict sequence (Deliver after it
+// runs out).
+type scriptedImpairment struct {
+	verdicts []Verdict
+	i        int
+}
+
+func (s *scriptedImpairment) Verdict(frame []byte) Verdict {
+	if s.i >= len(s.verdicts) {
+		return Deliver
+	}
+	v := s.verdicts[s.i]
+	s.i++
+	return v
+}
+
+func TestImpairmentDrop(t *testing.T) {
+	n, a, b, _ := newTestNet()
+	var cap pcapio.Capture
+	n.AddTap(&cap)
+	n.SetImpairment(&scriptedImpairment{verdicts: []Verdict{Drop, Deliver}})
+	start := n.Clock.Now()
+	a.port.Send(frameTo(macB, macA, "lost"))
+	a.port.Send(frameTo(macB, macA, "kept"))
+	if _, err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.received) != 1 || string(b.received[0][14:]) != "kept" {
+		t.Fatalf("b received %v", b.received)
+	}
+	// A dropped frame vanishes in the air: no capture, no clock advance.
+	if cap.Len() != 1 {
+		t.Errorf("captured %d frames, want 1 (drops must not be tapped)", cap.Len())
+	}
+	if got := n.Clock.Now().Sub(start); got != n.PerFrameDelay {
+		t.Errorf("clock advanced %v, want one PerFrameDelay", got)
+	}
+	if n.Dropped() != 1 {
+		t.Errorf("Dropped() = %d, want 1", n.Dropped())
+	}
+	if n.Delivered() != 1 {
+		t.Errorf("Delivered() = %d, want 1", n.Delivered())
+	}
+}
+
+func TestImpairmentDuplicate(t *testing.T) {
+	n, a, b, _ := newTestNet()
+	n.SetImpairment(&scriptedImpairment{verdicts: []Verdict{Duplicate}})
+	a.port.Send(frameTo(macB, macA, "twice"))
+	if _, err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.received) != 2 {
+		t.Fatalf("b received %d frames, want 2", len(b.received))
+	}
+}
+
+func TestImpairmentDeferReorders(t *testing.T) {
+	n, a, b, _ := newTestNet()
+	n.SetImpairment(&scriptedImpairment{verdicts: []Verdict{Defer, Deliver}})
+	a.port.Send(frameTo(macB, macA, "first"))
+	a.port.Send(frameTo(macB, macA, "second"))
+	if _, err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.received) != 2 {
+		t.Fatalf("b received %d frames, want 2", len(b.received))
+	}
+	if string(b.received[0][14:]) != "second" || string(b.received[1][14:]) != "first" {
+		t.Errorf("order = %q, %q; want second, first", b.received[0][14:], b.received[1][14:])
+	}
+}
+
+// A deferred frame is delivered unconditionally on its second pass — even
+// an always-Defer impairment cannot livelock the queue.
+func TestDeferredFramesAreExemptFromReimpairment(t *testing.T) {
+	n, a, b, _ := newTestNet()
+	always := make([]Verdict, 100)
+	for i := range always {
+		always[i] = Defer
+	}
+	n.SetImpairment(&scriptedImpairment{verdicts: always})
+	a.port.Send(frameTo(macB, macA, "x"))
+	if _, err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.received) != 1 {
+		t.Fatalf("b received %d frames, want 1", len(b.received))
+	}
+}
+
+func TestNilImpairmentRestoresPerfectNetwork(t *testing.T) {
+	n, a, b, _ := newTestNet()
+	n.SetImpairment(&scriptedImpairment{verdicts: []Verdict{Drop}})
+	n.SetImpairment(nil)
+	a.port.Send(frameTo(macB, macA, "ok"))
+	if _, err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.received) != 1 {
+		t.Fatalf("b received %d frames, want 1", len(b.received))
+	}
+}

@@ -42,6 +42,32 @@ type Host interface {
 	HandleFrame(frame []byte)
 }
 
+// Verdict is an Impairment's decision about one frame at delivery time.
+type Verdict int
+
+// The possible frame fates.
+const (
+	// Deliver hands the frame to its receivers normally.
+	Deliver Verdict = iota
+	// Drop loses the frame in the air: no tap, no receivers, no clock
+	// advance — as if the radio never carried it.
+	Drop
+	// Duplicate delivers the frame now and once more later (the copy is
+	// re-enqueued at the back of the queue).
+	Duplicate
+	// Defer postpones the frame to the back of the queue, reordering it
+	// past everything currently queued. A deferred frame is delivered
+	// unconditionally on its second pass, guaranteeing progress.
+	Defer
+)
+
+// Impairment decides the fate of each frame the switch is about to
+// deliver. Implementations must be deterministic in call order; the
+// switch consults it exactly once per originally-queued frame.
+type Impairment interface {
+	Verdict(frame []byte) Verdict
+}
+
 // Port is a host's attachment point to the network.
 type Port struct {
 	net  *Network
@@ -66,11 +92,18 @@ type Network struct {
 	PerFrameDelay time.Duration
 	// delivered counts frames delivered over the network's lifetime.
 	delivered int
+	// imp, when set, impairs frames at delivery time (loss, duplication,
+	// reordering). dropped counts frames it swallowed.
+	imp     Impairment
+	dropped int
 }
 
 type queued struct {
 	from  int
 	frame []byte
+	// deferred marks a frame already reordered or duplicated once; it is
+	// exempt from further impairment so the queue always drains.
+	deferred bool
 }
 
 // NewNetwork creates an empty network on the given clock.
@@ -91,6 +124,13 @@ func (n *Network) AddTap(c *pcapio.Capture) { n.taps = append(n.taps, c) }
 // Delivered reports the total number of frames delivered so far.
 func (n *Network) Delivered() int { return n.delivered }
 
+// SetImpairment installs a frame-fate policy on the switch; nil restores
+// the perfect network.
+func (n *Network) SetImpairment(imp Impairment) { n.imp = imp }
+
+// Dropped reports how many frames the installed impairment swallowed.
+func (n *Network) Dropped() int { return n.dropped }
+
 func (n *Network) enqueue(from int, frame []byte) {
 	// Copy: senders reuse their serialization buffers.
 	n.queue = append(n.queue, queued{from: from, frame: append([]byte(nil), frame...)})
@@ -109,6 +149,20 @@ func (n *Network) Run(maxFrames int) (int, error) {
 		q := n.queue[0]
 		n.queue = n.queue[1:]
 		count++
+		if n.imp != nil && !q.deferred {
+			switch n.imp.Verdict(q.frame) {
+			case Drop:
+				n.dropped++
+				continue
+			case Defer:
+				q.deferred = true
+				n.queue = append(n.queue, q)
+				continue
+			case Duplicate:
+				dup := queued{from: q.from, frame: q.frame, deferred: true}
+				n.queue = append(n.queue, dup)
+			}
+		}
 		n.delivered++
 		n.Clock.Advance(n.PerFrameDelay)
 		for _, tap := range n.taps {

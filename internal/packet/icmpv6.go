@@ -9,6 +9,7 @@ import (
 // ICMPv6 message types used by the testbed (RFC 4443, RFC 4861).
 const (
 	ICMPv6TypeDestUnreachable uint8 = 1
+	ICMPv6TypePacketTooBig    uint8 = 2
 	ICMPv6TypeEchoRequest     uint8 = 128
 	ICMPv6TypeEchoReply       uint8 = 129
 	ICMPv6TypeRouterSolicit   uint8 = 133

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"v6lab/internal/analysis"
+	"v6lab/internal/paper"
+)
+
+// parseCSV round-trips an export through encoding/csv and fails the test
+// if the output is not well-formed or ragged.
+func parseCSV(t *testing.T, out string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("export is not valid CSV: %v\n%s", err, out)
+	}
+	return recs
+}
+
+func TestCSVFunnelShape(t *testing.T) {
+	f := analysis.Funnel{
+		Devices: paper.DevicesPerCategory,
+		NDP:     paper.Table3.NDP,
+	}
+	recs := parseCSV(t, CSVFunnel(f))
+	// Header: stage + one column per category + total.
+	wantCols := 1 + len(paper.CategoryOrder) + 1
+	if len(recs[0]) != wantCols {
+		t.Fatalf("header has %d columns, want %d", len(recs[0]), wantCols)
+	}
+	if recs[0][0] != "stage" || recs[0][wantCols-1] != "total" {
+		t.Errorf("header = %v", recs[0])
+	}
+	// 9 funnel stages below the header, all same width.
+	if len(recs) != 10 {
+		t.Fatalf("got %d rows, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if len(r) != wantCols {
+			t.Errorf("row %d has %d columns, want %d", i, len(r), wantCols)
+		}
+	}
+	if recs[1][0] != "devices" || recs[9][0] != "functional" {
+		t.Errorf("stage order wrong: first=%q last=%q", recs[1][0], recs[9][0])
+	}
+	if CSVFunnel(f) != CSVFunnel(f) {
+		t.Error("two exports of the same funnel differ")
+	}
+}
+
+func TestCSVVolumeShares(t *testing.T) {
+	shares := []analysis.VolumeShare{
+		{Device: "Apple TV", FracPct: 71.25, Functional: true},
+		{Device: "Wyze Cam", FracPct: 0, Functional: false},
+	}
+	recs := parseCSV(t, CSVVolumeShares(shares))
+	if len(recs) != 3 {
+		t.Fatalf("got %d rows, want 3", len(recs))
+	}
+	if recs[1][0] != "Apple TV" || recs[1][1] != "71.25" || recs[1][2] != "true" {
+		t.Errorf("row = %v", recs[1])
+	}
+	if recs[2][2] != "false" {
+		t.Errorf("row = %v", recs[2])
+	}
+}
+
+func TestCSVCDF(t *testing.T) {
+	recs := parseCSV(t, CSVCDF([]int{1, 2, 4, 8}))
+	if len(recs) != 5 {
+		t.Fatalf("got %d rows, want 5", len(recs))
+	}
+	if recs[2][0] != "2" || recs[2][1] != "0.5000" {
+		t.Errorf("median row = %v", recs[2])
+	}
+	if recs[4][1] != "1.0000" {
+		t.Errorf("last row must reach cdf 1: %v", recs[4])
+	}
+}

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"v6lab/internal/experiment"
+)
+
+// Resilience renders the impairment-grid artifact: functionality per
+// connectivity configuration under each fault profile, the failure-mode
+// breakdown, and the impairment diagnostics. Column order follows the
+// profile order the grid ran in (clean first), so regressions read
+// left-to-right.
+func Resilience(r *experiment.ResilienceReport) string {
+	var w strings.Builder
+	fmt.Fprintf(&w, "Resilience — Table 2 functionality under deterministic impairment (ext-5)\n")
+	fmt.Fprintf(&w, "%d devices per configuration; profiles: %s\n",
+		r.Devices, strings.Join(profileNames(r), ", "))
+
+	fmt.Fprintf(&w, "\nFunctional devices per configuration:\n")
+	fmt.Fprintf(&w, "%-22s", "config")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&w, " %15s", p.Profile.Name)
+	}
+	fmt.Fprintln(&w)
+	if len(r.Profiles) > 0 {
+		for _, rc := range r.Profiles[0].ByConfig {
+			fmt.Fprintf(&w, "%-22s", rc.ID)
+			for _, p := range r.Profiles {
+				if c := r.Config(p.Profile.Name, rc.ID); c != nil {
+					fmt.Fprintf(&w, " %11d/%3d", c.Functional, c.Devices)
+				}
+			}
+			fmt.Fprintln(&w)
+		}
+		fmt.Fprintf(&w, "%-22s", "total device-runs")
+		for _, p := range r.Profiles {
+			fmt.Fprintf(&w, " %11d/%3d", p.FunctionalTotal, r.Devices*len(p.ByConfig))
+		}
+		fmt.Fprintln(&w)
+	}
+
+	fmt.Fprintf(&w, "\nFailure modes (device-runs summed across the grid):\n")
+	fmt.Fprintf(&w, "%-22s", "stage")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&w, " %15s", p.Profile.Name)
+	}
+	fmt.Fprintln(&w)
+	for _, stage := range failureStages(r) {
+		fmt.Fprintf(&w, "%-22s", stage)
+		for _, p := range r.Profiles {
+			n := 0
+			for _, rc := range p.ByConfig {
+				n += rc.Failures[stage]
+			}
+			fmt.Fprintf(&w, " %15d", n)
+		}
+		fmt.Fprintln(&w)
+	}
+
+	fmt.Fprintf(&w, "\nImpairment diagnostics (summed across the grid):\n")
+	rows := []struct {
+		label string
+		get   func(*experiment.ResilienceConfig) int
+	}{
+		{"frames delivered", func(c *experiment.ResilienceConfig) int { return c.FramesDelivered }},
+		{"frames dropped", func(c *experiment.ResilienceConfig) int { return c.FramesDropped }},
+		{"retransmissions", func(c *experiment.ResilienceConfig) int { return c.Retransmits }},
+		{"packet-too-big sent", func(c *experiment.ResilienceConfig) int { return c.PTBSent }},
+		{"service msgs dropped", func(c *experiment.ResilienceConfig) int { return c.ServiceDrops }},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&w, "%-22s", row.label)
+		for _, p := range r.Profiles {
+			n := 0
+			for i := range p.ByConfig {
+				n += row.get(&p.ByConfig[i])
+			}
+			fmt.Fprintf(&w, " %15d", n)
+		}
+		fmt.Fprintln(&w)
+	}
+
+	// Regressions vs the first profile: devices functional on the clean
+	// network that an impairment bricked, per configuration.
+	if len(r.Profiles) > 1 {
+		base := r.Profiles[0]
+		printed := false
+		for _, p := range r.Profiles[1:] {
+			for _, rc := range p.ByConfig {
+				bc := r.Config(base.Profile.Name, rc.ID)
+				if bc == nil {
+					continue
+				}
+				broken := subtract(rc.FailedDevices, bc.FailedDevices)
+				if len(broken) == 0 {
+					continue
+				}
+				if !printed {
+					fmt.Fprintf(&w, "\nBricked vs %s:\n", base.Profile.Name)
+					printed = true
+				}
+				fmt.Fprintf(&w, "  %-15s %-20s %s\n", p.Profile.Name, rc.ID, strings.Join(broken, "; "))
+			}
+		}
+		if !printed {
+			fmt.Fprintf(&w, "\nNo device functional on %q failed under any impairment profile.\n",
+				base.Profile.Name)
+		}
+	}
+	return w.String()
+}
+
+func profileNames(r *experiment.ResilienceReport) []string {
+	names := make([]string, len(r.Profiles))
+	for i, p := range r.Profiles {
+		names[i] = p.Profile.Name
+	}
+	return names
+}
+
+// failureStages collects every stage seen anywhere in the grid, "ok"
+// first, the rest sorted for a stable table.
+func failureStages(r *experiment.ResilienceReport) []string {
+	seen := map[string]bool{}
+	for _, p := range r.Profiles {
+		for _, rc := range p.ByConfig {
+			for stage := range rc.Failures {
+				seen[stage] = true
+			}
+		}
+	}
+	stages := make([]string, 0, len(seen))
+	for stage := range seen {
+		if stage != "ok" {
+			stages = append(stages, stage)
+		}
+	}
+	sort.Strings(stages)
+	if seen["ok"] {
+		stages = append([]string{"ok"}, stages...)
+	}
+	return stages
+}
+
+// subtract returns the elements of a not present in b, preserving order.
+func subtract(a, b []string) []string {
+	in := map[string]bool{}
+	for _, s := range b {
+		in[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if !in[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"v6lab/internal/experiment"
+	"v6lab/internal/faults"
+)
+
+// grid builds a small synthetic resilience report: two profiles, two
+// configs, one regression under the clamp.
+func grid() *experiment.ResilienceReport {
+	return &experiment.ResilienceReport{
+		Devices: 2,
+		Profiles: []*experiment.ResilienceProfile{
+			{
+				Profile:         faults.Clean(),
+				FunctionalTotal: 4,
+				ByConfig: []experiment.ResilienceConfig{
+					{ID: "ipv6-only", Devices: 2, Functional: 2,
+						Failures: map[string]int{"ok": 2}, FramesDelivered: 100},
+					{ID: "dual-stack", Devices: 2, Functional: 2,
+						Failures: map[string]int{"ok": 2}, FramesDelivered: 100},
+				},
+			},
+			{
+				Profile:         faults.ClampedTunnel(),
+				FunctionalTotal: 3,
+				ByConfig: []experiment.ResilienceConfig{
+					{ID: "ipv6-only", Devices: 2, Functional: 1,
+						Failures:        map[string]int{"ok": 1, "data-stalled": 1},
+						FailedDevices:   []string{"TiVo Stream"},
+						FramesDelivered: 120, Retransmits: 7, PTBSent: 5},
+					{ID: "dual-stack", Devices: 2, Functional: 2,
+						Failures: map[string]int{"ok": 2}, FramesDelivered: 110},
+				},
+			},
+		},
+	}
+}
+
+func TestResilienceRendering(t *testing.T) {
+	out := Resilience(grid())
+	for _, want := range []string{
+		"Resilience",
+		"2 devices per configuration",
+		"clean, clamped-tunnel",
+		"Functional devices per configuration",
+		"total device-runs",
+		"Failure modes",
+		"data-stalled",
+		"packet-too-big sent",
+		"Bricked vs clean:",
+		"TiVo Stream",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// "ok" leads the failure-mode table regardless of sort order.
+	stages := failureStages(grid())
+	if len(stages) == 0 || stages[0] != "ok" {
+		t.Errorf("failureStages = %v, want ok first", stages)
+	}
+}
+
+func TestResilienceRenderingIsStable(t *testing.T) {
+	// Failure stages live in maps; the renderer must still be
+	// deterministic across calls.
+	a, b := Resilience(grid()), Resilience(grid())
+	if a != b {
+		t.Error("two renders of the same report differ")
+	}
+}
+
+func TestResilienceNoRegressions(t *testing.T) {
+	r := grid()
+	// Make the impaired profile as good as clean.
+	r.Profiles[1].ByConfig[0].Functional = 2
+	r.Profiles[1].ByConfig[0].FailedDevices = nil
+	out := Resilience(r)
+	if !strings.Contains(out, `No device functional on "clean" failed`) {
+		t.Errorf("missing no-regression line:\n%s", out)
+	}
+	if strings.Contains(out, "Bricked vs") {
+		t.Errorf("unexpected regression section:\n%s", out)
+	}
+}
+
+func TestSubtractPreservesOrder(t *testing.T) {
+	got := subtract([]string{"a", "b", "c"}, []string{"b"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("subtract = %v, want [a c]", got)
+	}
+}

@@ -6,11 +6,13 @@
 package router
 
 import (
+	"encoding/binary"
 	"net/netip"
 
 	"v6lab/internal/addr"
 	"v6lab/internal/cloud"
 	"v6lab/internal/conntrack"
+	"v6lab/internal/faults"
 	"v6lab/internal/firewall"
 	"v6lab/internal/netsim"
 	"v6lab/internal/packet"
@@ -81,8 +83,16 @@ type Router struct {
 	// to play the remote scanning vantage.
 	WANv6Tap func(raw []byte) bool
 
+	// Faults, when set, impairs the router's own services: RA / DHCPv6 /
+	// forwarded-DNS drop schedules, blackout windows, and the tunnel MTU
+	// clamp. Nil means the paper's well-behaved dnsmasq.
+	Faults *faults.Services
+
 	// ForwardedV4 and ForwardedV6 count packets routed to the Internet.
 	ForwardedV4, ForwardedV6 int
+	// PTBSent counts ICMPv6 Packet-Too-Big errors emitted by the tunnel
+	// MTU clamp.
+	PTBSent int
 }
 
 // New creates a router with the given services enabled.
@@ -261,6 +271,12 @@ func (r *Router) deliverWANReplyV4(raw []byte, devMAC packet.MAC) {
 	if rp.Err != nil || rp.IPv4 == nil {
 		return
 	}
+	// The flaky-dnsmasq schedule applies to v4-transported answers too
+	// (the AAAA-over-IPv4 pattern of §5.2.2).
+	if r.Faults != nil && rp.UDP != nil && rp.UDP.SrcPort == 53 &&
+		r.Faults.DropDNSReply(rp.UDP.PayloadData) {
+		return
+	}
 	var entry natEntry
 	var ok bool
 	switch {
@@ -324,6 +340,12 @@ func (r *Router) forwardV6(p *packet.Packet) {
 	if err != nil {
 		return
 	}
+	if r.Faults != nil {
+		if mtu := r.Faults.TunnelMTU(); mtu > 0 && len(raw) > mtu {
+			r.sendPacketTooBig(p, mtu, raw)
+			return
+		}
+	}
 	if key, flags, ok := conntrack.KeyOfV6(p.IPv6, p.TCP, p.UDP, p.ICMPv6); ok {
 		r.FW.Outbound(key, flags)
 	}
@@ -349,6 +371,12 @@ func (r *Router) deliverWANv6(raw []byte) {
 			return
 		}
 	}
+	// Flaky-dnsmasq schedule: a misbehaving forwarder swallows AAAA
+	// answers on their way back to the LAN.
+	if r.Faults != nil && rp.UDP != nil && rp.UDP.SrcPort == 53 &&
+		r.Faults.DropDNSReply(rp.UDP.PayloadData) {
+		return
+	}
 	mac, ok := r.Neighbors[rp.IPv6.Dst]
 	if !ok {
 		return
@@ -363,6 +391,29 @@ func (r *Router) deliverWANv6(raw []byte) {
 // Internet — the WAN-vantage port scan of the firewall-exposure
 // experiment — subject to the inbound firewall policy.
 func (r *Router) InjectWANv6(raw []byte) { r.deliverWANv6(raw) }
+
+// sendPacketTooBig answers an oversized tunnel-bound packet with an
+// ICMPv6 Packet-Too-Big carrying the clamp MTU and the head of the
+// invoking packet (RFC 4443 §3.2), so PMTUD-capable stacks can
+// resegment their flows.
+func (r *Router) sendPacketTooBig(p *packet.Packet, mtu int, raw []byte) {
+	// The error itself must fit the minimum IPv6 MTU (RFC 4443: as much
+	// of the invoking packet as fits without exceeding 1280 bytes).
+	const maxInvoking = 1280 - 40 - 4 - 4
+	body := make([]byte, 4, 4+min(len(raw), maxInvoking))
+	binary.BigEndian.PutUint32(body[:4], uint32(mtu))
+	body = append(body, raw[:min(len(raw), maxInvoking)]...)
+	dst := p.IPv6.Src
+	frame, err := packet.Serialize(
+		&packet.Ethernet{Dst: p.Ethernet.Src, Src: RouterMAC, Type: packet.EtherTypeIPv6},
+		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 64, Src: RouterLLA, Dst: dst},
+		&packet.ICMPv6{Type: packet.ICMPv6TypePacketTooBig, Body: body, Src: RouterLLA, Dst: dst},
+	)
+	if err == nil {
+		r.PTBSent++
+		r.port.Send(frame)
+	}
+}
 
 // reserializeIPv6 strips the Ethernet header, returning the raw IP packet.
 func reserializeIPv6(p *packet.Packet) ([]byte, error) {

@@ -16,6 +16,9 @@ import (
 // handleDHCPv4 implements the dnsmasq DHCPv4 server: DISCOVER→OFFER,
 // REQUEST→ACK, with router, mask, DNS, and lease options.
 func (r *Router) handleDHCPv4(p *packet.Packet) {
+	if r.Faults != nil && r.Faults.Blackout() {
+		return
+	}
 	msg, err := dhcp4.Unmarshal(p.UDP.PayloadData)
 	if err != nil {
 		return
@@ -93,6 +96,9 @@ func (r *Router) handleNDP(p *packet.Packet) {
 // at the IPv6 resolver, and M/O flags per the DHCPv6 services enabled.
 func (r *Router) SendRouterAdvert() {
 	if !r.Cfg.IPv6 {
+		return
+	}
+	if r.Faults != nil && r.Faults.DropRA() {
 		return
 	}
 	ra := &ndp.RouterAdvert{
@@ -180,6 +186,9 @@ func (r *Router) handleDHCPv6(p *packet.Packet) {
 			reply.DNS = []netip.Addr{cloud.DNSv6}
 		}
 	default:
+		return
+	}
+	if r.Faults != nil && r.Faults.DropDHCPv6() {
 		return
 	}
 	wire, err := reply.Marshal()

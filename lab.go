@@ -10,15 +10,24 @@
 //	lab := v6lab.New()
 //	if err := lab.Run(); err != nil { ... }
 //	fmt.Print(lab.Report(v6lab.Table3))
+//
+// New takes functional options (WithDevices, WithSeed, WithFaultProfile,
+// WithMaxFramesPerRun) and Run composes parts: Run() alone performs the
+// connectivity study, Run(Resilience()) the impairment grid,
+// Run(Connectivity(), FirewallComparison(), Fleet(16)) all three.
 package v6lab
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"v6lab/internal/analysis"
+	"v6lab/internal/device"
 	"v6lab/internal/experiment"
+	"v6lab/internal/faults"
 	"v6lab/internal/firewall"
 	"v6lab/internal/fleet"
 	"v6lab/internal/report"
@@ -50,19 +59,67 @@ const (
 	Tracking   Artifact = "tracking"
 	// Firewall extends the paper: the §5.4.2 scan repeated from a WAN
 	// vantage under each inbound-IPv6 firewall policy (§6's
-	// countermeasure space). Requires RunFirewallComparison.
+	// countermeasure space). Requires Run(FirewallComparison(...)).
 	Firewall Artifact = "firewall"
 	// FleetStudy extends the paper from one testbed home to a population:
 	// N independent simulated homes run in parallel and aggregate into
-	// population-level prevalence results. Requires RunFleet.
+	// population-level prevalence results. Requires Run(Fleet(n)).
 	FleetStudy Artifact = "fleet"
+	// ResilienceStudy extends the paper: the Table 2 grid re-run under
+	// deterministic impairment profiles (lossy Wi-Fi, a tunnel MTU clamp,
+	// flaky router services). Requires Run(Resilience(...)).
+	ResilienceStudy Artifact = "resilience"
 )
 
 // Artifacts lists every artifact in report order.
 var Artifacts = []Artifact{
 	Table3, Figure2, Table4, Table5, Table6, Figure3, Figure4, Table7,
 	Table8, Table9, Table10, Table12, Table13, Figure5, DADAudit, Ports, Tracking,
-	FuncMatrix, Firewall, FleetStudy,
+	FuncMatrix, Firewall, FleetStudy, ResilienceStudy,
+}
+
+// ErrUnknownArtifact is returned (wrapped) by ReportErr for artifact names
+// outside Artifacts.
+var ErrUnknownArtifact = errors.New("unknown artifact")
+
+// options collects what the functional options configure.
+type options struct {
+	deviceNames []string
+	devices     []*device.Profile
+	seed        uint64
+	maxFrames   int
+	fault       *faults.Profile
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithDevices restricts the testbed to the named devices (registry order
+// is preserved regardless of the order given). Workload plans scale with
+// the population, per experiment.StudyOptions. New panics on a name not
+// in the registry — that is a programming error, not a runtime condition.
+func WithDevices(names ...string) Option {
+	return func(o *options) { o.deviceNames = append(o.deviceNames, names...) }
+}
+
+// WithSeed sets the seed that fault profiles without an explicit seed
+// inherit (the default is 1). A lab is byte-deterministic in
+// (options, parts): same seed and profile, same pcaps and reports.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithMaxFramesPerRun bounds each experiment's frame deliveries (0 keeps
+// the default 3,000,000).
+func WithMaxFramesPerRun(n int) Option {
+	return func(o *options) { o.maxFrames = n }
+}
+
+// WithFaultProfile runs the whole lab under a deterministic impairment
+// profile (see package faults). The clean profile (or none) keeps the
+// perfect network and byte-identical default output.
+func WithFaultProfile(p faults.Profile) Option {
+	return func(o *options) { o.fault = &p }
 }
 
 // Lab is the top-level handle: a configured study plus, after Run, the
@@ -71,75 +128,203 @@ type Lab struct {
 	Study *experiment.Study
 	Data  *analysis.Dataset
 	// FirewallCmp holds the policy-comparison results once
-	// RunFirewallComparison has run.
+	// Run(FirewallComparison(...)) has run.
 	FirewallCmp *experiment.FirewallReport
-	// FleetPop holds the multi-home population results once RunFleet has
-	// run.
+	// FleetPop holds the multi-home population results once Run(Fleet(n))
+	// has run.
 	FleetPop *fleet.Population
+	// Resil holds the impairment-grid results once Run(Resilience(...))
+	// has run.
+	Resil *experiment.ResilienceReport
+
+	opts options
 }
 
 // New builds the testbed (devices, workload plans, simulated cloud).
-func New() *Lab {
-	return &Lab{Study: experiment.NewStudy()}
-}
-
-// Run executes the six connectivity experiments, the active DNS queries,
-// and the port scans, then runs the analysis pipeline over the captures.
-func (l *Lab) Run() error {
-	if err := l.Study.RunAll(); err != nil {
-		return err
+// Without options it is the paper's single-home study, byte-identical to
+// earlier releases.
+func New(opts ...Option) *Lab {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	l.Data = analysis.FromStudy(l.Study)
-	return nil
+	if len(o.deviceNames) > 0 {
+		o.devices = resolveDevices(o.deviceNames)
+	}
+	l := &Lab{opts: o}
+	so := l.studyOptions()
+	if o.fault != nil && o.fault.Active() {
+		fp := *o.fault
+		if fp.Seed == 0 {
+			fp.Seed = o.seed
+		}
+		so.Faults = &fp
+	}
+	l.Study = experiment.NewStudyWith(so)
+	return l
 }
 
-// RunFirewallComparison re-runs the §5.4.2 scan from a WAN vantage under
-// the named inbound-IPv6 firewall policies ("open", "stateful",
-// "pinhole"); with no names it compares all three. The pinhole policy
-// carries the testbed's default holes (the v6-only service ports, i.e.
-// the Samsung Fridge's). Results land in FirewallCmp and the Firewall
-// artifact.
-func (l *Lab) RunFirewallComparison(policyNames ...string) error {
-	var policies []firewall.Policy
-	if len(policyNames) == 0 {
-		policies = experiment.DefaultFirewallPolicies(l.Study.Profiles)
-	} else {
-		for _, name := range policyNames {
-			p, err := firewall.ByName(name)
-			if err != nil {
-				return err
-			}
-			if ph, ok := p.(firewall.Pinhole); ok && len(ph.Rules) == 0 {
-				p = firewall.Pinhole{Rules: experiment.DefaultPinholes(l.Study.Profiles)}
-			}
-			policies = append(policies, p)
+// studyOptions reconstructs the (fault-free) study options the lab was
+// built with, for parts that build their own studies.
+func (l *Lab) studyOptions() experiment.StudyOptions {
+	return experiment.StudyOptions{Devices: l.opts.devices, MaxFramesPerRun: l.opts.maxFrames}
+}
+
+// resolveDevices maps names onto registry profiles, preserving registry
+// order and panicking on unknown names.
+func resolveDevices(names []string) []*device.Profile {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*device.Profile
+	for _, p := range device.Registry() {
+		if want[p.Name] {
+			out = append(out, p)
+			delete(want, p.Name)
 		}
 	}
-	rep, err := l.Study.RunFirewallExposure(policies)
-	if err != nil {
-		return err
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for n := range want {
+			missing = append(missing, n)
+		}
+		panic(fmt.Sprintf("v6lab: WithDevices names not in registry: %s", strings.Join(missing, ", ")))
 	}
-	l.FirewallCmp = rep
+	return out
+}
+
+// RunPart is one composable unit of work for Run. The provided parts —
+// Connectivity, FirewallComparison, Fleet, FleetWith, Resilience — cover
+// every study the lab knows how to run.
+type RunPart func(*Lab) error
+
+// Connectivity is the core study: the six Table 2 experiments, the active
+// DNS queries, the port scans, and the analysis pipeline over the
+// captures. Run() with no parts is equivalent to Run(Connectivity()).
+func Connectivity() RunPart {
+	return func(l *Lab) error {
+		if err := l.Study.RunAll(); err != nil {
+			return err
+		}
+		l.Data = analysis.FromStudy(l.Study)
+		return nil
+	}
+}
+
+// FirewallComparison re-runs the §5.4.2 scan from a WAN vantage under the
+// named inbound-IPv6 firewall policies ("open", "stateful", "pinhole");
+// with no names it compares all three. The pinhole policy carries the
+// testbed's default holes (the v6-only service ports, i.e. the Samsung
+// Fridge's). Results land in FirewallCmp and the Firewall artifact.
+func FirewallComparison(policyNames ...string) RunPart {
+	return func(l *Lab) error {
+		var policies []firewall.Policy
+		if len(policyNames) == 0 {
+			policies = experiment.DefaultFirewallPolicies(l.Study.Profiles)
+		} else {
+			for _, name := range policyNames {
+				p, err := firewall.ByName(name)
+				if err != nil {
+					return err
+				}
+				if ph, ok := p.(firewall.Pinhole); ok && len(ph.Rules) == 0 {
+					p = firewall.Pinhole{Rules: experiment.DefaultPinholes(l.Study.Profiles)}
+				}
+				policies = append(policies, p)
+			}
+		}
+		rep, err := l.Study.RunFirewallExposure(policies)
+		if err != nil {
+			return err
+		}
+		l.FirewallCmp = rep
+		return nil
+	}
+}
+
+// Fleet simulates a population of n independent homes with the default
+// fleet configuration (household-size distribution, connectivity and
+// firewall-policy mixes, GOMAXPROCS workers). Results land in FleetPop
+// and the FleetStudy artifact. It is independent of Connectivity: either
+// may run first, or alone.
+func Fleet(n int) RunPart {
+	return FleetWith(fleet.Config{Homes: n})
+}
+
+// FleetWith is Fleet with full control over the population.
+func FleetWith(cfg fleet.Config) RunPart {
+	return func(l *Lab) error {
+		pop, err := fleet.Run(cfg)
+		if err != nil {
+			return err
+		}
+		l.FleetPop = pop
+		return nil
+	}
+}
+
+// Resilience re-runs the Table 2 grid under each impairment profile
+// (faults.Grid() — clean, lossy-wifi, clamped-tunnel, flaky-dnsmasq —
+// when none are given), building a fresh isolated study per profile from
+// the lab's options. Profiles without an explicit seed inherit WithSeed.
+// Results land in Resil and the ResilienceStudy artifact.
+func Resilience(profiles ...faults.Profile) RunPart {
+	return func(l *Lab) error {
+		if len(profiles) == 0 {
+			profiles = faults.Grid()
+		}
+		seeded := make([]faults.Profile, len(profiles))
+		for i, p := range profiles {
+			if p.Seed == 0 {
+				p.Seed = l.opts.seed
+			}
+			seeded[i] = p
+		}
+		rep, err := experiment.RunResilience(l.studyOptions(), seeded...)
+		if err != nil {
+			return err
+		}
+		l.Resil = rep
+		return nil
+	}
+}
+
+// Run executes the given parts in order; with no parts it runs
+// Connectivity — the six connectivity experiments, the active DNS
+// queries, and the port scans, then the analysis pipeline over the
+// captures.
+func (l *Lab) Run(parts ...RunPart) error {
+	if len(parts) == 0 {
+		parts = []RunPart{Connectivity()}
+	}
+	for _, part := range parts {
+		if err := part(l); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// RunFleet simulates a population of n independent homes with the default
-// fleet configuration (household-size distribution, connectivity and
-// firewall-policy mixes, GOMAXPROCS workers). Results land in FleetPop
-// and the FleetStudy artifact. It is independent of Run: either may run
-// first, or alone.
+// RunFirewallComparison runs the firewall policy comparison.
+//
+// Deprecated: use Run(FirewallComparison(policyNames...)).
+func (l *Lab) RunFirewallComparison(policyNames ...string) error {
+	return l.Run(FirewallComparison(policyNames...))
+}
+
+// RunFleet simulates a population of n homes.
+//
+// Deprecated: use Run(Fleet(n)).
 func (l *Lab) RunFleet(n int) error {
-	return l.RunFleetWith(fleet.Config{Homes: n})
+	return l.Run(Fleet(n))
 }
 
 // RunFleetWith is RunFleet with full control over the population.
+//
+// Deprecated: use Run(FleetWith(cfg)).
 func (l *Lab) RunFleetWith(cfg fleet.Config) error {
-	pop, err := fleet.Run(cfg)
-	if err != nil {
-		return err
-	}
-	l.FleetPop = pop
-	return nil
+	return l.Run(FleetWith(cfg))
 }
 
 // ensure panics helpfully when Report is called before Run.
@@ -150,68 +335,97 @@ func (l *Lab) ensure() {
 }
 
 // Report renders one artifact as text, side by side with the paper's
-// published values.
+// published values. Unknown artifacts render as a one-line note; callers
+// that need to distinguish that case should use ReportErr.
 func (l *Lab) Report(a Artifact) string {
-	// The fleet artifact derives from its own population run, not from
-	// the single-home dataset, so it renders without Run.
-	if a == FleetStudy {
-		if l.FleetPop == nil {
-			return "Fleet population study: not run (pass -fleet N or call Lab.RunFleet)\n"
+	out, err := l.ReportErr(a)
+	if err != nil {
+		return fmt.Sprintf("unknown artifact %q\n", a)
+	}
+	return out
+}
+
+// ReportErr renders one artifact as text, returning an error wrapping
+// ErrUnknownArtifact for names outside Artifacts. The name check comes
+// first, so an unknown artifact errors (rather than panics) even on a lab
+// that has not run yet.
+func (l *Lab) ReportErr(a Artifact) (string, error) {
+	known := false
+	for _, k := range Artifacts {
+		if a == k {
+			known = true
+			break
 		}
-		return report.Fleet(l.FleetPop)
+	}
+	if !known {
+		return "", fmt.Errorf("%w %q", ErrUnknownArtifact, a)
+	}
+	// The fleet and resilience artifacts derive from their own runs, not
+	// from the single-home dataset, so they render without Run.
+	switch a {
+	case FleetStudy:
+		if l.FleetPop == nil {
+			return "Fleet population study: not run (pass -fleet N or call Lab.RunFleet)\n", nil
+		}
+		return report.Fleet(l.FleetPop), nil
+	case ResilienceStudy:
+		if l.Resil == nil {
+			return "Resilience impairment grid: not run (pass -resilience or call Lab.Run(v6lab.Resilience()))\n", nil
+		}
+		return report.Resilience(l.Resil), nil
 	}
 	l.ensure()
 	ds := l.Data
 	switch a {
 	case Table3:
-		return report.Table3(ds.Table3())
+		return report.Table3(ds.Table3()), nil
 	case Figure2:
-		return report.Figure2(ds.Table3())
+		return report.Figure2(ds.Table3()), nil
 	case Table4:
-		return report.Table4(ds.Table4())
+		return report.Table4(ds.Table4()), nil
 	case Table5:
-		return report.Table5(ds.Table5())
+		return report.Table5(ds.Table5()), nil
 	case Table6:
-		return report.Table6(ds.Table6())
+		return report.Table6(ds.Table6()), nil
 	case Table7:
 		f, n, mf, mn := ds.Table7(3)
-		return report.Table7(f, n, mf, mn)
+		return report.Table7(f, n, mf, mn), nil
 	case Table8:
 		out := report.Groups("Table 8 — feature support by manufacturer (>=3 devices)", ds.GroupBy("manufacturer", 3))
-		return out + report.Groups("Table 8 (cont.) — by OS (>=2 devices)", ds.GroupBy("os", 2))
+		return out + report.Groups("Table 8 (cont.) — by OS (>=2 devices)", ds.GroupBy("os", 2)), nil
 	case Table9:
-		return report.Table9(ds.Table9())
+		return report.Table9(ds.Table9()), nil
 	case Table10:
-		return report.Table10(ds)
+		return report.Table10(ds), nil
 	case Table12:
-		return report.Groups("Table 12 — feature support by purchase year", ds.GroupBy("year", 1))
+		return report.Groups("Table 12 — feature support by purchase year", ds.GroupBy("year", 1)), nil
 	case Table13:
-		return report.Table13(ds.GroupBy("manufacturer", 3))
+		return report.Table13(ds.GroupBy("manufacturer", 3)), nil
 	case Figure3:
-		return report.Figure3(ds.Figure3())
+		return report.Figure3(ds.Figure3()), nil
 	case Figure4:
-		return report.Figure4(ds.Figure4())
+		return report.Figure4(ds.Figure4()), nil
 	case Figure5:
-		return report.Figure5(ds.EUI64Exposure())
+		return report.Figure5(ds.EUI64Exposure()), nil
 	case DADAudit:
-		return report.DAD(ds.DADAudit())
+		return report.DAD(ds.DADAudit()), nil
 	case Ports:
-		return report.PortScan(l.Study.Scan)
+		return report.PortScan(l.Study.Scan), nil
 	case Tracking:
-		return report.Tracking(ds.Tracking())
+		return report.Tracking(ds.Tracking()), nil
 	case Firewall:
 		if l.FirewallCmp == nil {
-			return "Firewall policy comparison: not run (pass -firewall=compare or a policy name)\n"
+			return "Firewall policy comparison: not run (pass -firewall=compare or a policy name)\n", nil
 		}
-		return report.FirewallExposure(l.FirewallCmp)
+		return report.FirewallExposure(l.FirewallCmp), nil
 	case FuncMatrix:
 		var names []string
 		for _, p := range ds.Profiles {
 			names = append(names, p.Name)
 		}
-		return report.FunctionalMatrix(ds.Exps, names)
+		return report.FunctionalMatrix(ds.Exps, names), nil
 	}
-	return fmt.Sprintf("unknown artifact %q\n", a)
+	return "", fmt.Errorf("%w %q", ErrUnknownArtifact, a)
 }
 
 // FullReport renders every artifact.
@@ -219,6 +433,11 @@ func (l *Lab) FullReport() string {
 	l.ensure()
 	out := ""
 	for _, a := range Artifacts {
+		// The resilience grid is opt-in: when it has not run, FullReport
+		// stays byte-identical to reports from before the grid existed.
+		if a == ResilienceStudy && l.Resil == nil {
+			continue
+		}
 		out += l.Report(a) + "\n"
 	}
 	return out

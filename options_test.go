@@ -1,0 +1,172 @@
+package v6lab
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"v6lab/internal/device"
+	"v6lab/internal/faults"
+)
+
+func TestZeroOptionNewMatchesFullRegistry(t *testing.T) {
+	lab := New()
+	if got, want := len(lab.Study.Profiles), len(device.Registry()); got != want {
+		t.Errorf("zero-option lab has %d devices, want the full registry (%d)", got, want)
+	}
+	if lab.Study.MaxFramesPerRun != 3_000_000 {
+		t.Errorf("MaxFramesPerRun = %d, want the 3M default", lab.Study.MaxFramesPerRun)
+	}
+}
+
+func TestWithDevicesRestrictsAndOrders(t *testing.T) {
+	// Names given out of registry order; the testbed keeps registry order.
+	lab := New(WithDevices("Wyze Cam", "Apple TV"))
+	if len(lab.Study.Profiles) != 2 {
+		t.Fatalf("got %d devices, want 2", len(lab.Study.Profiles))
+	}
+	var names []string
+	for _, p := range lab.Study.Profiles {
+		names = append(names, p.Name)
+	}
+	idx := map[string]int{}
+	for i, p := range device.Registry() {
+		idx[p.Name] = i
+	}
+	if idx[names[0]] > idx[names[1]] {
+		t.Errorf("devices %v not in registry order", names)
+	}
+}
+
+func TestWithDevicesUnknownNamePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want panic")
+		}
+		if !strings.Contains(r.(string), "Quantum Toaster") {
+			t.Errorf("panic message missing the offending name: %v", r)
+		}
+	}()
+	New(WithDevices("Quantum Toaster"))
+}
+
+func TestWithMaxFramesPerRun(t *testing.T) {
+	if got := New(WithMaxFramesPerRun(12345)).Study.MaxFramesPerRun; got != 12345 {
+		t.Errorf("MaxFramesPerRun = %d, want 12345", got)
+	}
+}
+
+func TestReportErrUnknownArtifact(t *testing.T) {
+	lab := New()
+	_, err := lab.ReportErr(Artifact("table99"))
+	if !errors.Is(err, ErrUnknownArtifact) {
+		t.Fatalf("err = %v, want ErrUnknownArtifact", err)
+	}
+	if !strings.Contains(err.Error(), "table99") {
+		t.Errorf("error %q does not name the artifact", err)
+	}
+	// The legacy Report keeps its one-line placeholder.
+	if got := lab.Report(Artifact("table99")); got != "unknown artifact \"table99\"\n" {
+		t.Errorf("Report placeholder = %q", got)
+	}
+}
+
+func TestResilienceArtifactBeforeRun(t *testing.T) {
+	// Resilience (like fleet) renders without the single-home study.
+	out, err := New().ReportErr(ResilienceStudy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "not run") {
+		t.Errorf("want a not-run note, got %q", out)
+	}
+}
+
+// TestResiliencePartAndSeedDeterminism: Run(Resilience(...)) fills Resil,
+// the artifact renders the grid, and the same seed reproduces the report
+// byte for byte.
+func TestResiliencePartAndSeedDeterminism(t *testing.T) {
+	run := func() string {
+		lab := New(WithDevices("TiVo Stream", "Apple TV"), WithSeed(7))
+		if err := lab.Run(Resilience(faults.Clean(), faults.ClampedTunnel())); err != nil {
+			t.Fatal(err)
+		}
+		if lab.Resil == nil {
+			t.Fatal("Run(Resilience()) left Resil nil")
+		}
+		out, err := lab.ReportErr(ResilienceStudy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), b2(t, run)
+	if a != b {
+		t.Error("same seed and profiles produced different resilience reports")
+	}
+	for _, want := range []string{"clamped-tunnel", "ipv6-only", "TiVo Stream"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("resilience report missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// b2 exists only to keep the double-run readable above.
+func b2(t *testing.T, run func() string) string {
+	t.Helper()
+	return run()
+}
+
+// TestDeprecatedWrappersDelegate: the pre-options entry points still work
+// and produce the same state as their Run(...) equivalents.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	old := New(WithDevices("Wyze Cam"))
+	if err := old.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.RunFirewallComparison("stateful"); err != nil {
+		t.Fatal(err)
+	}
+	if old.FirewallCmp == nil {
+		t.Fatal("RunFirewallComparison left FirewallCmp nil")
+	}
+	if err := old.RunFleet(2); err != nil {
+		t.Fatal(err)
+	}
+	if old.FleetPop == nil {
+		t.Fatal("RunFleet left FleetPop nil")
+	}
+
+	new_ := New(WithDevices("Wyze Cam"))
+	if err := new_.Run(Connectivity(), FirewallComparison("stateful"), Fleet(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := old.Report(Firewall), new_.Report(Firewall); got != want {
+		t.Errorf("wrapper and Run(...) firewall artifacts differ:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := old.Report(FleetStudy), new_.Report(FleetStudy); got != want {
+		t.Errorf("wrapper and Run(...) fleet artifacts differ")
+	}
+}
+
+// TestFaultProfileChangesOutputCleanDoesNot: WithFaultProfile(clean) keeps
+// the default byte-identical path (no impairment installed), an active
+// profile flips the study into the impaired path.
+func TestFaultProfileChangesOutputCleanDoesNot(t *testing.T) {
+	if New(WithFaultProfile(faults.Clean())).Study.Faults != nil {
+		t.Error("a clean profile must not install impairment")
+	}
+	lab := New(WithFaultProfile(faults.LossyWiFi()))
+	if lab.Study.Faults == nil {
+		t.Fatal("an active profile must reach the study")
+	}
+	if lab.Study.Faults.Seed != 1 {
+		t.Errorf("profile seed = %d, want 1", lab.Study.Faults.Seed)
+	}
+	// A profile without its own seed inherits WithSeed.
+	seedless := faults.Profile{Name: "seedless-loss", LossPermille: 30}
+	if got := New(WithSeed(9), WithFaultProfile(seedless)).Study.Faults.Seed; got != 9 {
+		t.Errorf("seedless profile got seed %d, want WithSeed's 9", got)
+	}
+}
