@@ -59,6 +59,24 @@ func BenchmarkFullStudy(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyParallel measures the full study on the parallel engine
+// at several worker counts. workers=1 is the serial engine; the ratio to
+// it is the wall-clock win, and allocs/op tracks the frame path (the
+// work per iteration is identical — and byte-identical — at every count).
+func BenchmarkStudyParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 6} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lab := New(WithWorkers(workers))
+				if err := lab.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTable3_IPv6OnlyFunnel(b *testing.B)   { benchArtifact(b, Table3) }
 func BenchmarkFigure2_Rings(b *testing.B)           { benchArtifact(b, Figure2) }
 func BenchmarkTable4_DualStackDelta(b *testing.B)   { benchArtifact(b, Table4) }

@@ -1,0 +1,204 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file so the perf trajectory is tracked across
+// PRs, and optionally gates on allocation regressions against a committed
+// baseline.
+//
+// Usage:
+//
+//	go test -bench 'StudyParallel|FramePath|WriteRecord' -benchmem . ./internal/... |
+//	    go run ./cmd/benchjson -out BENCH_study.json
+//
+//	go run ./cmd/benchjson -in bench.txt -out BENCH_study.json \
+//	    -baseline BENCH_study.json -max-alloc-regress 20
+//
+// Only allocs/op is compared against the baseline: it is the one metric
+// that is stable across machines (ns/op and MB/s depend on the host, so
+// they are recorded but never gated on).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// ("StudyParallel/workers=4"), so baselines compare across machines.
+	Name string `json:"name"`
+	// Procs is the stripped GOMAXPROCS suffix (0 if none).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall clock per operation (machine-dependent).
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is throughput when the bench sets bytes (machine-dependent).
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem. AllocsPerOp
+	// is the regression-gated metric.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// File is the BENCH_study.json schema.
+type File struct {
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "read bench output from this file instead of stdin")
+	out := fs.String("out", "", "write the JSON result here (empty = stdout)")
+	baseline := fs.String("baseline", "", "compare allocs/op against this previously emitted JSON file")
+	maxRegress := fs.Float64("max-alloc-regress", 20, "fail when allocs/op regresses more than this percentage over the baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "benchjson: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := ParseBenchOutput(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found in input")
+		return 1
+	}
+
+	blob, err := json.MarshalIndent(File{Benchmarks: benches}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+
+	if *baseline != "" {
+		regressions, err := CompareAllocs(*baseline, benches, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(stderr, "benchjson: ALLOC REGRESSION:", r)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchjson: allocs/op within %.0f%% of baseline for all %d benchmarks\n",
+			*maxRegress, len(benches))
+	}
+	return 0
+}
+
+// ParseBenchOutput extracts benchmark result lines from go test output.
+// A result line looks like:
+//
+//	BenchmarkFramePath-8  1000000  1234 ns/op  210.55 MB/s  12 B/op  0 allocs/op
+func ParseBenchOutput(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		b := Bench{Name: strings.TrimPrefix(fields[0], "Benchmark")}
+		if i := strings.LastIndex(b.Name, "-"); i > 0 {
+			if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+				b.Name, b.Procs = b.Name[:i], procs
+			}
+		}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			continue
+		}
+		// Optional unit-tagged pairs after ns/op.
+		for i := 4; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "MB/s":
+				b.MBPerS, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// CompareAllocs checks current allocs/op against a baseline JSON file and
+// returns a description of every benchmark that regressed more than
+// maxPct percent. Benchmarks absent from either side are skipped (new
+// benches should not fail the gate; renamed ones get a fresh baseline).
+func CompareAllocs(baselinePath string, current []Bench, maxPct float64) ([]string, error) {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base File
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseBy := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var regressions []string
+	for _, cur := range current {
+		old, ok := baseBy[cur.Name]
+		if !ok {
+			continue
+		}
+		limit := float64(old.AllocsPerOp) * (1 + maxPct/100)
+		if float64(cur.AllocsPerOp) > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op vs baseline %d (limit %.0f, +%.0f%%)",
+					cur.Name, cur.AllocsPerOp, old.AllocsPerOp, limit, maxPct))
+		}
+	}
+	sort.Strings(regressions)
+	return regressions, nil
+}

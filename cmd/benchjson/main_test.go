@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: v6lab
+BenchmarkStudyParallel/workers=1-8         	       1	1500000000 ns/op	900000000 B/op	 5000000 allocs/op
+BenchmarkStudyParallel/workers=4-8         	       2	 600000000 ns/op	910000000 B/op	 5100000 allocs/op
+BenchmarkFramePath-8                       	 5000000	       250 ns/op	 856.00 MB/s	      12 B/op	       0 allocs/op
+BenchmarkWriteRecord                       	 3000000	       400 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	v6lab	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "StudyParallel/workers=1" || b.Procs != 8 {
+		t.Errorf("first bench = %q procs %d", b.Name, b.Procs)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 1.5e9 || b.AllocsPerOp != 5000000 {
+		t.Errorf("first bench values: %+v", b)
+	}
+	fp := benches[2]
+	if fp.Name != "FramePath" || fp.MBPerS != 856 || fp.BytesPerOp != 12 || fp.AllocsPerOp != 0 {
+		t.Errorf("FramePath values: %+v", fp)
+	}
+	// A bench without the -procs suffix keeps its bare name.
+	if benches[3].Name != "WriteRecord" || benches[3].Procs != 0 {
+		t.Errorf("WriteRecord parsed as %+v", benches[3])
+	}
+}
+
+func writeBaseline(t *testing.T, benches []Bench) string {
+	t.Helper()
+	blob, err := json.Marshal(File{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareAllocs(t *testing.T) {
+	base := writeBaseline(t, []Bench{
+		{Name: "FramePath", AllocsPerOp: 100},
+		{Name: "Retired", AllocsPerOp: 1},
+	})
+	// Within the 20% budget: no regression.
+	regs, err := CompareAllocs(base, []Bench{{Name: "FramePath", AllocsPerOp: 119}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("within-budget run flagged: %v", regs)
+	}
+	// Past the budget: flagged.
+	regs, err = CompareAllocs(base, []Bench{{Name: "FramePath", AllocsPerOp: 121}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "FramePath") {
+		t.Errorf("over-budget run not flagged: %v", regs)
+	}
+	// New benchmarks (absent from the baseline) never fail the gate.
+	regs, err = CompareAllocs(base, []Bench{{Name: "Brand/New", AllocsPerOp: 1 << 30}}, 20)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("new bench flagged: %v %v", regs, err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_study.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", out}, strings.NewReader(sampleOutput), &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("emitted %d benchmarks, want 4", len(f.Benchmarks))
+	}
+
+	// Gate against itself: identical numbers pass...
+	stderr.Reset()
+	if code := run([]string{"-baseline", out}, strings.NewReader(sampleOutput), &stdout, &stderr); code != 0 {
+		t.Fatalf("self-comparison failed (%d): %s", code, stderr.String())
+	}
+	// ...and a >20% alloc inflation fails.
+	inflated := strings.Replace(sampleOutput, " 5000000 allocs/op", " 9000000 allocs/op", 1)
+	stderr.Reset()
+	if code := run([]string{"-baseline", out}, strings.NewReader(inflated), &stdout, &stderr); code != 1 {
+		t.Fatalf("inflated run passed the gate (%d): %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "ALLOC REGRESSION") {
+		t.Errorf("regression message missing: %s", stderr.String())
+	}
+
+	// Empty input is an error, not an empty file.
+	if code := run([]string{}, strings.NewReader("no benches here\n"), &stdout, &stderr); code != 1 {
+		t.Errorf("empty input returned %d, want 1", code)
+	}
+}

@@ -5,7 +5,8 @@
 //
 //	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare]
 //	      [-fleet 100 -workers 8 -fleet-seed 1] [-resilience] [-fault lossy-wifi]
-//	      [-seed 1] [-list]
+//	      [-seed 1] [-parallel 6] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	      [-list]
 //
 // Without -artifact, every artifact is printed in report order. The
 // command takes no positional arguments; unknown flags or arguments exit
@@ -18,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"v6lab"
@@ -52,6 +55,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultName := fs.String("fault", "", "run the whole lab under one impairment profile: clean|lossy-wifi|clamped-tunnel|flaky-dnsmasq")
 	seed := fs.Uint64("seed", 1, "impairment seed for -fault and -resilience; identical seeds reproduce runs byte-for-byte")
 	devices := fs.String("devices", "", "comma-separated device names restricting the testbed (default: the full registry)")
+	parallel := fs.Int("parallel", 0, "run the connectivity experiments (and analysis) on up to N workers; output is byte-identical for any N (0/1 = serial)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -125,6 +131,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		labOpts = append(labOpts, v6lab.WithFaultProfile(p))
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(stderr, "v6lab: -parallel wants a non-negative worker count, got %d\n", *parallel)
+		return 2
+	}
+	if *parallel > 1 {
+		labOpts = append(labOpts, v6lab.WithWorkers(*parallel))
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(stderr, "CPU profile written to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+				return
+			}
+			fmt.Fprintf(stderr, "heap profile written to %s\n", *memprofile)
+		}()
 	}
 
 	lab := v6lab.NewWithOptions(v6lab.Options{

@@ -1,19 +1,49 @@
 package analysis
 
 import (
+	"sync"
+
 	"v6lab/internal/experiment"
 )
 
 // FromStudy runs the extraction over every experiment a Study produced and
-// assembles the Dataset the table derivations consume.
+// assembles the Dataset the table derivations consume. Each capture is
+// parsed exactly once; when the study's Workers allow it, the per-capture
+// extractions run concurrently (they are independent) and land in the
+// dataset in experiment order, so the result never depends on scheduling.
 func FromStudy(st *experiment.Study) *Dataset {
 	ds := &Dataset{
 		Profiles:   st.Profiles,
 		ActiveAAAA: map[string]bool{},
 		Cloud:      st.Cloud,
 	}
-	for _, res := range st.Results {
-		ds.Exps = append(ds.Exps, Observe(res.Config.ID, res.Config.Mode, res.Capture, st.MACToDevice, res.Functional))
+	ds.Exps = make([]*ExpObs, len(st.Results))
+	workers := st.Workers
+	if workers > len(st.Results) {
+		workers = len(st.Results)
+	}
+	if workers <= 1 {
+		for i, res := range st.Results {
+			ds.Exps[i] = Observe(res.Config.ID, res.Config.Mode, res.Capture, st.MACToDevice, res.Functional)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					res := st.Results[i]
+					ds.Exps[i] = Observe(res.Config.ID, res.Config.Mode, res.Capture, st.MACToDevice, res.Functional)
+				}
+			}()
+		}
+		for i := range st.Results {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
 	for name, r := range st.ActiveDNS {
 		ds.ActiveAAAA[name] = r.HasAAAA

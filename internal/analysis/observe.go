@@ -124,7 +124,8 @@ func (o *DeviceObs) markUsed(a netip.Addr, mac packet.MAC) {
 	}
 }
 
-// Observe runs the extraction over one experiment's capture.
+// Observe runs the extraction over one experiment's capture. Each record
+// is parsed exactly once; both passes walk the parsed packets.
 func Observe(id string, mode device.Mode, cap *pcapio.Capture, macMap map[packet.MAC]*device.Profile, functional map[string]bool) *ExpObs {
 	obs := &ExpObs{
 		ID: id, Mode: mode,
@@ -145,13 +146,16 @@ func Observe(id string, mode device.Mode, cap *pcapio.Capture, macMap map[packet
 		return d
 	}
 
+	parsed := make([]*packet.Packet, 0, len(cap.Records))
+	for _, rec := range cap.Records {
+		if p := packet.Parse(rec.Data); p.Err == nil {
+			parsed = append(parsed, p)
+		}
+	}
+
 	// Pass 1: collect the IP->name mapping from DNS answers and TLS SNI,
 	// exactly the two attribution sources §5.2.2 names.
-	for _, rec := range cap.Records {
-		p := packet.Parse(rec.Data)
-		if p.Err != nil {
-			continue
-		}
+	for _, p := range parsed {
 		if p.UDP != nil && p.UDP.SrcPort == 53 {
 			if m, err := dnsmsg.Unpack(p.UDP.PayloadData); err == nil && m.Response {
 				for _, rr := range m.Answers {
@@ -169,9 +173,8 @@ func Observe(id string, mode device.Mode, cap *pcapio.Capture, macMap map[packet
 	}
 
 	// Pass 2: per-device feature extraction.
-	for _, rec := range cap.Records {
-		p := packet.Parse(rec.Data)
-		if p.Err != nil || p.Ethernet == nil {
+	for _, p := range parsed {
+		if p.Ethernet == nil {
 			continue
 		}
 		d := devFor(p.Ethernet.Src)

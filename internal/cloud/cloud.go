@@ -105,6 +105,27 @@ func (c *Cloud) install(d *Domain) {
 	}
 }
 
+// Clone returns a cloud sharing this one's domain registry — immutable
+// while experiments run — but with its own query counters, so concurrent
+// experiment environments do not race on the diagnostics map. Do not call
+// AddDomain or EnsureAAAA on a clone.
+func (c *Cloud) Clone() *Cloud {
+	return &Cloud{
+		domains: c.domains,
+		byAddr:  c.byAddr,
+		nextV4:  c.nextV4,
+		nextV6:  c.nextV6,
+		Queries: make(map[dnsmsg.Type]int),
+	}
+}
+
+// MergeQueries folds a clone's query counters back into this cloud.
+func (c *Cloud) MergeQueries(from *Cloud) {
+	for t, n := range from.Queries {
+		c.Queries[t] += n
+	}
+}
+
 // AddDomain registers a destination, allocating deterministic endpoint
 // addresses: every domain gets one A record; AAAA-ready domains also get
 // one AAAA record.

@@ -45,6 +45,10 @@ type Stack struct {
 
 	port  *netsim.Port
 	clock *netsim.Clock
+	// tx is the reusable serialization buffer every send path shares;
+	// the switch copies frames into its arena at enqueue time, so the
+	// buffer is free for the next frame as soon as Send returns.
+	tx *packet.Buffer
 
 	mode   Mode
 	expSeq int // 0-based index among the device's v6-enabled experiments
@@ -142,6 +146,7 @@ func NewStack(p *Profile, pl *Plan, idx int, prefixes NetPrefixes) *Stack {
 		MAC:      macFor(p, idx),
 		prefixes: prefixes,
 		v6Exps:   5,
+		tx:       packet.NewBuffer(128),
 	}
 }
 
@@ -244,6 +249,13 @@ func (s *Stack) privacyGUA() netip.Addr {
 	}
 	return netip.Addr{}
 }
+
+// SeedDHCP4Transactions sets the DHCPv4 transaction counter as if the
+// stack had already booted n times with IPv4 enabled. The parallel study
+// engine uses it to give each isolated per-experiment environment (and
+// the shared stacks the port scan reuses afterwards) the exact XID
+// sequence the serial engine produces.
+func (s *Stack) SeedDHCP4Transactions(n int) { s.dhcp4XID = uint32(n) }
 
 // Boot kicks off network configuration for the current experiment.
 func (s *Stack) Boot() {
@@ -937,13 +949,10 @@ func (s *Stack) HandleFrame(frame []byte) {
 
 func (s *Stack) handleARP(p *packet.Packet) {
 	if p.ARP.Op == packet.ARPRequest && p.ARP.TargetIP == s.v4Addr && s.v4Addr.IsValid() {
-		reply, err := packet.Serialize(
+		s.transmit(
 			&packet.Ethernet{Dst: p.Ethernet.Src, Src: s.MAC, Type: packet.EtherTypeARP},
 			&packet.ARP{Op: packet.ARPReply, SenderMAC: s.MAC, SenderIP: s.v4Addr,
 				TargetMAC: p.ARP.SenderMAC, TargetIP: p.ARP.SenderIP})
-		if err == nil {
-			s.port.Send(reply)
-		}
 	}
 }
 
@@ -1088,26 +1097,30 @@ func (s *Stack) handleUDPProbe(p *packet.Packet) {
 		// followed by the invoking packet.
 		body := append(make([]byte, 4), p.Ethernet.PayloadData...)
 		ic := &packet.ICMPv6{Type: packet.ICMPv6TypeDestUnreachable, Code: 4, Body: body, Src: p.IPv6.Dst, Dst: p.IPv6.Src}
-		frame, err := packet.Serialize(
+		s.transmit(
 			&packet.Ethernet{Dst: p.Ethernet.Src, Src: s.MAC, Type: packet.EtherTypeIPv6},
 			&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 64, Src: p.IPv6.Dst, Dst: p.IPv6.Src},
 			ic)
-		if err == nil {
-			s.port.Send(frame)
-		}
 		return
 	}
 	body := append(make([]byte, 4), p.Ethernet.PayloadData...)
-	frame, err := packet.Serialize(
+	s.transmit(
 		&packet.Ethernet{Dst: p.Ethernet.Src, Src: s.MAC, Type: packet.EtherTypeIPv4},
 		&packet.IPv4{Protocol: packet.IPProtocolICMPv4, Src: p.IPv4.Dst, Dst: p.IPv4.Src},
 		&packet.ICMPv4{Type: 3, Code: 3, Body: body})
+}
+
+// --- send helpers ---
+
+// transmit serializes layers into the stack's reusable tx buffer and puts
+// the frame on the wire. Serialization failures drop the frame, the same
+// policy every call site applied individually.
+func (s *Stack) transmit(layers ...packet.SerializableLayer) {
+	frame, err := packet.SerializeInto(s.tx, layers...)
 	if err == nil {
 		s.port.Send(frame)
 	}
 }
-
-// --- send helpers ---
 
 func (s *Stack) etherDstV6(dst netip.Addr) packet.MAC {
 	if dst.IsMulticast() {
@@ -1130,25 +1143,19 @@ func (s *Stack) sendICMPv6To(dstMAC packet.MAC, src, dst netip.Addr, typ uint8, 
 	if typ == packet.ICMPv6TypeEchoRequest || typ == packet.ICMPv6TypeEchoReply {
 		hop = 64
 	}
-	frame, err := packet.Serialize(
+	s.transmit(
 		&packet.Ethernet{Dst: dstMAC, Src: s.MAC, Type: packet.EtherTypeIPv6},
 		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: hop, Src: src, Dst: dst},
 		&packet.ICMPv6{Type: typ, Body: body, Src: src, Dst: dst},
 	)
-	if err == nil {
-		s.port.Send(frame)
-	}
 }
 
 func (s *Stack) sendICMPv4(dst netip.Addr, typ uint8, body []byte, dstMAC packet.MAC) {
-	frame, err := packet.Serialize(
+	s.transmit(
 		&packet.Ethernet{Dst: dstMAC, Src: s.MAC, Type: packet.EtherTypeIPv4},
 		&packet.IPv4{Protocol: packet.IPProtocolICMPv4, Src: s.v4Addr, Dst: dst},
 		&packet.ICMPv4{Type: typ, Body: body},
 	)
-	if err == nil {
-		s.port.Send(frame)
-	}
 }
 
 func (s *Stack) sendRS(src netip.Addr) {
@@ -1171,15 +1178,12 @@ func (s *Stack) sendDHCP4(typ uint8, requested netip.Addr) {
 	}
 	zero := netip.MustParseAddr("0.0.0.0")
 	bcast := netip.MustParseAddr("255.255.255.255")
-	frame, err := packet.Serialize(
+	s.transmit(
 		&packet.Ethernet{Dst: packet.BroadcastMAC, Src: s.MAC, Type: packet.EtherTypeIPv4},
 		&packet.IPv4{Protocol: packet.IPProtocolUDP, Src: zero, Dst: bcast},
 		&packet.UDP{SrcPort: dhcp4.ClientPort, DstPort: dhcp4.ServerPort, Src: zero, Dst: bcast},
 		packet.Raw(wire),
 	)
-	if err == nil {
-		s.port.Send(frame)
-	}
 }
 
 func (s *Stack) sendDHCP6(m *dhcp6.Message, src netip.Addr) {
@@ -1191,15 +1195,12 @@ func (s *Stack) sendDHCP6(m *dhcp6.Message, src netip.Addr) {
 	// server reply; RetryConfig retransmits while this stays set.
 	s.dhcp6Pending = true
 	dst := netip.MustParseAddr(dhcp6.AllRelayAgentsAndServers)
-	frame, err := packet.Serialize(
+	s.transmit(
 		&packet.Ethernet{Dst: addr.MulticastMAC(dst), Src: s.MAC, Type: packet.EtherTypeIPv6},
 		&packet.IPv6{NextHeader: packet.IPProtocolUDP, Src: src, Dst: dst},
 		&packet.UDP{SrcPort: dhcp6.ClientPort, DstPort: dhcp6.ServerPort, Src: src, Dst: dst},
 		packet.Raw(wire),
 	)
-	if err == nil {
-		s.port.Send(frame)
-	}
 }
 
 func (s *Stack) sendUDP(src, dst netip.Addr, dport uint16, payload []byte) {
@@ -1222,15 +1223,12 @@ func (s *Stack) sendUDP(src, dst netip.Addr, dport uint16, payload []byte) {
 	if dport == 123 {
 		sport = 123
 	}
-	frame, err := packet.Serialize(
+	s.transmit(
 		&packet.Ethernet{Dst: dstMAC, Src: s.MAC, Type: typ},
 		ipLayer,
 		&packet.UDP{SrcPort: sport, DstPort: dport, Src: src, Dst: dst},
 		packet.Raw(payload),
 	)
-	if err == nil {
-		s.port.Send(frame)
-	}
 }
 
 func (s *Stack) sendTCP(src, dst netip.Addr, sport, dport uint16, flags uint8, seq, ack uint32, payload []byte) {
@@ -1257,13 +1255,10 @@ func (s *Stack) sendTCPTo(dstMAC packet.MAC, src, dst netip.Addr, sport, dport u
 	} else {
 		ipLayer = &packet.IPv6{NextHeader: packet.IPProtocolTCP, Src: src, Dst: dst}
 	}
-	frame, err := packet.Serialize(
+	s.transmit(
 		&packet.Ethernet{Dst: dstMAC, Src: s.MAC, Type: typ},
 		ipLayer,
 		&packet.TCP{SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack, Flags: flags, Src: src, Dst: dst},
 		packet.Raw(payload),
 	)
-	if err == nil {
-		s.port.Send(frame)
-	}
 }

@@ -1,0 +1,20 @@
+package experiment
+
+import "testing"
+
+// TestConfigByIDRoundTrip checks the init-time index: every Configs entry
+// must come back identical through ConfigByID, and unknown IDs must miss.
+func TestConfigByIDRoundTrip(t *testing.T) {
+	for _, c := range Configs {
+		got, ok := ConfigByID(c.ID)
+		if !ok {
+			t.Fatalf("ConfigByID(%q) not found", c.ID)
+		}
+		if got != c {
+			t.Errorf("ConfigByID(%q) = %+v, want %+v", c.ID, got, c)
+		}
+	}
+	if _, ok := ConfigByID("no-such-experiment"); ok {
+		t.Error("ConfigByID accepted an unknown ID")
+	}
+}

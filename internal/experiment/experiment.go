@@ -68,14 +68,23 @@ var Configs = []Config{
 	},
 }
 
+// configIndex maps experiment IDs to their position in Configs, built once
+// at init so ConfigByID is a map lookup instead of a linear scan.
+var configIndex = func() map[string]int {
+	m := make(map[string]int, len(Configs))
+	for i, c := range Configs {
+		m[c.ID] = i
+	}
+	return m
+}()
+
 // ConfigByID returns the Table 2 experiment config with the given ID.
 func ConfigByID(id string) (Config, bool) {
-	for _, c := range Configs {
-		if c.ID == id {
-			return c, true
-		}
+	i, ok := configIndex[id]
+	if !ok {
+		return Config{}, false
 	}
-	return Config{}, false
+	return Configs[i], true
 }
 
 // RunResult captures everything one experiment produced.
@@ -135,6 +144,11 @@ type Study struct {
 	// MaxFramesPerRun bounds each experiment's frame deliveries.
 	MaxFramesPerRun int
 
+	// Workers bounds the worker pool the connectivity experiments (and the
+	// analysis extraction) run on. 0 or 1 means serial. See parallel.go for
+	// the byte-identity guarantee and the fault-path fallback.
+	Workers int
+
 	// Faults, when non-nil, impairs every experiment: the link model is
 	// installed on the switch and the service-fault schedule on the
 	// router, and the retry passes run between phases. Nil (the default)
@@ -164,6 +178,10 @@ type StudyOptions struct {
 	// experiment the study runs. Inactive profiles (see faults.Profile)
 	// are ignored; nil means a perfect network.
 	Faults *faults.Profile
+	// Workers bounds the pool the six connectivity experiments run on;
+	// 0 or 1 means the serial engine. Results are byte-identical either
+	// way (parallel.go).
+	Workers int
 }
 
 // NewStudy builds the testbed: 93 device stacks, their workload plans, and
@@ -203,6 +221,7 @@ func NewStudyWith(opts StudyOptions) *Study {
 		MACToDevice:     map[packet.MAC]*device.Profile{},
 		ActiveDNS:       map[string]AAAAResult{},
 		MaxFramesPerRun: maxFrames,
+		Workers:         opts.Workers,
 	}
 	if opts.Faults != nil && opts.Faults.Active() {
 		fp := *opts.Faults
@@ -219,9 +238,28 @@ func NewStudyWith(opts StudyOptions) *Study {
 	return st
 }
 
-// RunAll executes the six connectivity experiments, then the active DNS
-// queries and the port scans.
+// RunAll executes the six connectivity experiments — on the parallel
+// engine when Workers > 1 and no faults are active, serially otherwise —
+// then the active DNS queries and the port scans. Both engines produce
+// byte-identical results.
 func (st *Study) RunAll() error {
+	if err := st.runConnectivity(); err != nil {
+		return err
+	}
+	st.RunActiveDNS()
+	var err error
+	st.Scan, err = st.RunPortScan()
+	return err
+}
+
+// runConnectivity dispatches the Table 2 grid to the serial loop or the
+// worker pool. Under active faults the DHCPv4 XID sequence depends on how
+// many retransmissions earlier experiments provoked, which only the serial
+// engine can know, so faulted studies always run serially.
+func (st *Study) runConnectivity() error {
+	if st.Workers > 1 && st.Faults == nil {
+		return st.runConnectivityParallel(st.Workers)
+	}
 	for _, cfg := range Configs {
 		res, err := st.RunExperiment(cfg)
 		if err != nil {
@@ -229,10 +267,7 @@ func (st *Study) RunAll() error {
 		}
 		st.Results = append(st.Results, res)
 	}
-	st.RunActiveDNS()
-	var err error
-	st.Scan, err = st.RunPortScan()
-	return err
+	return nil
 }
 
 // RunExperiment performs one Table 2 run: reboot everything, configure,

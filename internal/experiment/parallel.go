@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"v6lab/internal/cloud"
+	"v6lab/internal/device"
+	"v6lab/internal/netsim"
+	"v6lab/internal/router"
+)
+
+// The parallel study engine.
+//
+// The six Table 2 experiments are fully independent: each one builds its
+// own switch and router, reboots every device stack, and the capture it
+// produces depends only on (profiles, plans, config) — never on absolute
+// time, because no stack or router service reads the clock into frame
+// content; the clock only timestamps capture records. That leaves exactly
+// two pieces of state threading the serial run together:
+//
+//   - the clock: experiment i starts where experiment i-1 left off, so
+//     pcap timestamps are cumulative. Each parallel environment runs on a
+//     private clock from a common base; afterwards the merge rebases
+//     experiment i's record times by the summed elapsed time of
+//     experiments 0..i-1. time.Time.Add is exact, so rebased timestamps
+//     equal the serial ones bit for bit.
+//   - the DHCPv4 transaction counter: Boot increments it once per
+//     v4-enabled experiment (and fault-driven retries increment it
+//     further). On a clean network the increment count before experiment
+//     i is just the number of prior v4-enabled configs, so each
+//     environment pre-seeds its stacks with that count. Under faults the
+//     count depends on the previous experiments' retransmissions, which
+//     is why faulted studies fall back to the serial engine
+//     (runConnectivity).
+//
+// The cloud's domain registry is immutable while experiments run; its
+// only run-time mutation is the per-type query diagnostic counter, so
+// each environment gets a Clone sharing the registry with private
+// counters, merged back (in config order) after the pool drains.
+//
+// Merging in config order makes the Results slice — and therefore
+// FullReport and all six pcaps — byte-identical to the serial engine's.
+
+// runConnectivityParallel executes the Table 2 grid on a bounded worker
+// pool of isolated environments and merges the outcomes in config order.
+func (st *Study) runConnectivityParallel(workers int) error {
+	start := st.Clock.Now()
+	type outcome struct {
+		res     *RunResult
+		cloud   *cloud.Cloud
+		elapsed time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, len(Configs))
+	if workers > len(Configs) {
+		workers = len(Configs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				env := st.isolatedEnv(start)
+				env.seedDHCP4(Configs[:i])
+				res, err := env.RunExperiment(Configs[i])
+				outcomes[i] = outcome{
+					res: res, cloud: env.Cloud,
+					elapsed: env.Clock.Now().Sub(start), err: err,
+				}
+			}
+		}()
+	}
+	for i := range Configs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var offset time.Duration
+	for i := range Configs {
+		out := outcomes[i]
+		if out.err != nil {
+			return fmt.Errorf("experiment %s: %w", Configs[i].ID, out.err)
+		}
+		// Rebase this capture from the common base onto the serial
+		// timeline: everything experiments 0..i-1 consumed comes first.
+		recs := out.res.Capture.Records
+		for j := range recs {
+			recs[j].Time = recs[j].Time.Add(offset)
+		}
+		offset += out.elapsed
+		st.Results = append(st.Results, out.res)
+		st.Cloud.MergeQueries(out.cloud)
+	}
+	// Leave the shared clock and stacks exactly where the serial engine
+	// would: the port scan draws its timestamps and next DHCPv4 XID from
+	// them.
+	st.Clock.Advance(offset)
+	st.seedDHCP4(Configs)
+	return nil
+}
+
+// isolatedEnv builds a study sharing this one's immutable inputs
+// (profiles, plans, domain registry) but with private stacks, clock, and
+// query counters, so one experiment can run on it concurrently with
+// others.
+func (st *Study) isolatedEnv(base time.Time) *Study {
+	prefixes := device.NetPrefixes{GUA: router.GUAPrefix, ULA: router.ULAPrefix}
+	env := &Study{
+		Profiles:        st.Profiles,
+		Plans:           st.Plans,
+		Cloud:           st.Cloud.Clone(),
+		Clock:           netsim.NewClock(base),
+		MACToDevice:     st.MACToDevice,
+		MaxFramesPerRun: st.MaxFramesPerRun,
+	}
+	for i, p := range st.Profiles {
+		env.Stacks = append(env.Stacks, device.NewStack(p, st.Plans[i], i, prefixes))
+	}
+	return env
+}
+
+// seedDHCP4 advances every stack's DHCPv4 transaction counter past the
+// given configs, as if their Boots had already happened.
+func (st *Study) seedDHCP4(prior []Config) {
+	n := 0
+	for _, cfg := range prior {
+		if cfg.Mode != device.ModeV6Only {
+			n++
+		}
+	}
+	for _, s := range st.Stacks {
+		s.SeedDHCP4Transactions(n)
+	}
+}

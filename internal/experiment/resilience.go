@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
 	"v6lab/internal/faults"
 )
@@ -61,47 +62,95 @@ func (r *ResilienceReport) Config(profile, id string) *ResilienceConfig {
 // functionality and failure modes. Each profile gets a fresh, isolated
 // study built from opts, so impairment in one profile cannot leak state
 // into another; the whole experiment is deterministic in (opts, profiles).
+//
+// When opts.Workers > 1, profiles run concurrently on a bounded pool —
+// each profile's study is already fully isolated, so the grid is
+// embarrassingly parallel at the profile level — and the report lists
+// them in the order given, identical to the serial run. (Within a
+// profile the experiments stay serial: faults make the DHCPv4 XID chain
+// order-dependent; see runConnectivity.)
 func RunResilience(opts StudyOptions, profiles ...faults.Profile) (*ResilienceReport, error) {
 	if len(profiles) == 0 {
 		profiles = faults.Grid()
 	}
-	rep := &ResilienceReport{}
-	for _, p := range profiles {
-		o := opts
-		fp := p
-		o.Faults = &fp
-		st := NewStudyWith(o)
-		rep.Devices = len(st.Stacks)
-		po := &ResilienceProfile{Profile: p}
-		for _, cfg := range Configs {
-			res, err := st.RunExperiment(cfg)
+	rep := &ResilienceReport{Profiles: make([]*ResilienceProfile, len(profiles))}
+	workers := opts.Workers
+	if workers > len(profiles) {
+		workers = len(profiles)
+	}
+	if workers <= 1 {
+		for i, p := range profiles {
+			po, devices, err := runResilienceProfile(opts, p)
 			if err != nil {
-				return nil, fmt.Errorf("resilience %s/%s: %w", p.Name, cfg.ID, err)
+				return nil, err
 			}
-			rc := ResilienceConfig{
-				ID:              cfg.ID,
-				Devices:         len(st.Stacks),
-				Failures:        map[string]int{},
-				FramesDelivered: res.FramesDelivered,
-				FramesDropped:   res.FramesDropped,
-				Retransmits:     res.Retransmits,
-				PTBSent:         res.PTBSent,
-				ServiceDrops:    res.ServiceDrops,
-			}
-			// Diagnose while the stacks still hold this experiment's state.
-			for _, s := range st.Stacks {
-				stage := s.FailureStage()
-				rc.Failures[stage]++
-				if stage == "ok" {
-					rc.Functional++
-				} else {
-					rc.FailedDevices = append(rc.FailedDevices, s.Prof.Name)
-				}
-			}
-			po.ByConfig = append(po.ByConfig, rc)
-			po.FunctionalTotal += rc.Functional
+			rep.Profiles[i] = po
+			rep.Devices = devices
 		}
-		rep.Profiles = append(rep.Profiles, po)
+		return rep, nil
+	}
+	errs := make([]error, len(profiles))
+	devices := make([]int, len(profiles))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep.Profiles[i], devices[i], errs[i] = runResilienceProfile(opts, profiles[i])
+			}
+		}()
+	}
+	for i := range profiles {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		rep.Devices = devices[i]
 	}
 	return rep, nil
+}
+
+// runResilienceProfile runs the full Table 2 grid under one fault profile
+// on a study of its own.
+func runResilienceProfile(opts StudyOptions, p faults.Profile) (*ResilienceProfile, int, error) {
+	o := opts
+	fp := p
+	o.Faults = &fp
+	st := NewStudyWith(o)
+	po := &ResilienceProfile{Profile: p}
+	for _, cfg := range Configs {
+		res, err := st.RunExperiment(cfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("resilience %s/%s: %w", p.Name, cfg.ID, err)
+		}
+		rc := ResilienceConfig{
+			ID:              cfg.ID,
+			Devices:         len(st.Stacks),
+			Failures:        map[string]int{},
+			FramesDelivered: res.FramesDelivered,
+			FramesDropped:   res.FramesDropped,
+			Retransmits:     res.Retransmits,
+			PTBSent:         res.PTBSent,
+			ServiceDrops:    res.ServiceDrops,
+		}
+		// Diagnose while the stacks still hold this experiment's state.
+		for _, s := range st.Stacks {
+			stage := s.FailureStage()
+			rc.Failures[stage]++
+			if stage == "ok" {
+				rc.Functional++
+			} else {
+				rc.FailedDevices = append(rc.FailedDevices, s.Prof.Name)
+			}
+		}
+		po.ByConfig = append(po.ByConfig, rc)
+		po.FunctionalTotal += rc.Functional
+	}
+	return po, len(st.Stacks), nil
 }

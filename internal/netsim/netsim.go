@@ -96,6 +96,11 @@ type Network struct {
 	// reordering). dropped counts frames it swallowed.
 	imp     Impairment
 	dropped int
+	// arena pools the per-frame copies enqueue makes: one chunk
+	// allocation per 64 KiB of traffic instead of one per frame. Chunks
+	// are never recycled, so queued frames (and any sub-slices handlers
+	// retain, e.g. a parsed DUID) stay valid for the network's lifetime.
+	arena packet.Arena
 }
 
 type queued struct {
@@ -132,8 +137,9 @@ func (n *Network) SetImpairment(imp Impairment) { n.imp = imp }
 func (n *Network) Dropped() int { return n.dropped }
 
 func (n *Network) enqueue(from int, frame []byte) {
-	// Copy: senders reuse their serialization buffers.
-	n.queue = append(n.queue, queued{from: from, frame: append([]byte(nil), frame...)})
+	// Copy: senders reuse their serialization buffers. The copy lands in
+	// the network's frame arena, not a fresh heap slice per frame.
+	n.queue = append(n.queue, queued{from: from, frame: n.arena.CopyIn(frame)})
 }
 
 // Run delivers queued frames (and any frames handlers inject) until the

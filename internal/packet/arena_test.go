@@ -1,0 +1,82 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestArenaCopiesAndStaysStable: copies are independent of the source and
+// survive later CopyIns, including chunk rollover.
+func TestArenaCopiesAndStaysStable(t *testing.T) {
+	a := &Arena{ChunkSize: 64}
+	src := []byte{1, 2, 3, 4}
+	got := a.CopyIn(src)
+	src[0] = 99
+	if got[0] != 1 {
+		t.Error("CopyIn aliased the source slice")
+	}
+	// Force several chunk rollovers; the first copy must not move.
+	var later [][]byte
+	for i := 0; i < 50; i++ {
+		later = append(later, a.CopyIn(bytes.Repeat([]byte{byte(i)}, 20)))
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("early copy corrupted after rollover: %v", got)
+	}
+	for i, l := range later {
+		if !bytes.Equal(l, bytes.Repeat([]byte{byte(i)}, 20)) {
+			t.Fatalf("copy %d corrupted: %v", i, l)
+		}
+	}
+}
+
+// TestArenaCopyCapClipped: appending to a returned copy must not scribble
+// over the next copy in the same chunk.
+func TestArenaCopyCapClipped(t *testing.T) {
+	a := &Arena{}
+	first := a.CopyIn([]byte{1, 2})
+	second := a.CopyIn([]byte{3, 4})
+	_ = append(first, 0xee) // must reallocate, not overwrite second
+	if second[0] != 3 || second[1] != 4 {
+		t.Errorf("append through first copy corrupted second: %v", second)
+	}
+}
+
+// TestArenaOversizeBlob: blobs larger than the chunk size get their own
+// chunk instead of failing.
+func TestArenaOversizeBlob(t *testing.T) {
+	a := &Arena{ChunkSize: 8}
+	big := bytes.Repeat([]byte{0xaa}, 100)
+	got := a.CopyIn(big)
+	if !bytes.Equal(got, big) {
+		t.Error("oversize blob mangled")
+	}
+	if next := a.CopyIn([]byte{1}); next[0] != 1 {
+		t.Error("copy after oversize blob failed")
+	}
+}
+
+// TestSerializeIntoReuse: repeated SerializeInto on one buffer yields the
+// same bytes as the allocating Serialize.
+func TestSerializeIntoReuse(t *testing.T) {
+	want, err := Serialize(
+		&Ethernet{Dst: MAC{1, 2, 3, 4, 5, 6}, Src: MAC{6, 5, 4, 3, 2, 1}, Type: EtherTypeIPv4},
+		Raw([]byte{0xde, 0xad, 0xbe, 0xef}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(128)
+	for i := 0; i < 3; i++ {
+		got, err := SerializeInto(b,
+			&Ethernet{Dst: MAC{1, 2, 3, 4, 5, 6}, Src: MAC{6, 5, 4, 3, 2, 1}, Type: EtherTypeIPv4},
+			Raw([]byte{0xde, 0xad, 0xbe, 0xef}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("round %d: SerializeInto = %x, Serialize = %x", i, got, want)
+		}
+	}
+}

@@ -94,6 +94,49 @@ func Serialize(layers ...SerializableLayer) ([]byte, error) {
 	return out, nil
 }
 
+// SerializeInto runs SerializeLayers on a caller-owned reusable buffer and
+// returns b.Bytes() directly — no per-frame copy. The returned slice is
+// invalidated by the next serialization into b, so it must be consumed
+// (sent, copied) before b is reused. Hot send paths pair this with a
+// per-host buffer: the netsim switch copies frames into its arena at
+// enqueue time, so handing it a view into a reusable buffer is safe.
+func SerializeInto(b *Buffer, layers ...SerializableLayer) ([]byte, error) {
+	if err := SerializeLayers(b, layers...); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// Arena is a bump allocator for immutable byte blobs: CopyIn copies a
+// slice into a large shared chunk and returns a full-capacity-clipped view
+// of the copy. One allocation per chunk replaces one per blob, which is
+// what makes the per-frame paths (switch queue, capture records) cheap.
+// Chunks are never reused, so returned slices stay valid (and immutable)
+// for the arena's lifetime.
+type Arena struct {
+	chunk []byte
+	// ChunkSize is the allocation granularity; 0 means 64 KiB.
+	ChunkSize int
+}
+
+// CopyIn copies b into the arena and returns the stable copy.
+func (a *Arena) CopyIn(b []byte) []byte {
+	n := len(b)
+	if cap(a.chunk)-len(a.chunk) < n {
+		size := a.ChunkSize
+		if size <= 0 {
+			size = 1 << 16
+		}
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]byte, 0, size)
+	}
+	off := len(a.chunk)
+	a.chunk = append(a.chunk, b...)
+	return a.chunk[off : off+n : off+n]
+}
+
 // Raw is a SerializableLayer wrapping literal payload bytes.
 type Raw []byte
 

@@ -36,6 +36,11 @@ type Record struct {
 type Writer struct {
 	w           *bufio.Writer
 	wroteHeader bool
+	// scratch coalesces record header + payload into a single buffered
+	// write; it is reused (and grown to the largest record seen) across
+	// WriteRecord calls, so the steady state is zero allocations per
+	// record and one Write per record.
+	scratch []byte
 }
 
 // NewWriter returns a Writer targeting w. The file header is emitted on the
@@ -57,24 +62,27 @@ func (w *Writer) writeHeader() error {
 	return err
 }
 
-// WriteRecord appends one frame to the stream.
+// WriteRecord appends one frame to the stream. Header and payload are
+// coalesced into one buffered write through a reused scratch buffer.
 func (w *Writer) WriteRecord(r Record) error {
 	if !w.wroteHeader {
 		if err := w.writeHeader(); err != nil {
 			return err
 		}
 	}
-	var hdr [recordHeaderLen]byte
+	need := recordHeaderLen + len(r.Data)
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, 0, need+4096)
+	}
+	rec := w.scratch[:recordHeaderLen]
 	sec := r.Time.Unix()
 	usec := r.Time.Nanosecond() / 1000
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(sec))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(usec))
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(r.Data)))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(r.Data)))
-	if _, err := w.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.w.Write(r.Data)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(sec))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(usec))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(r.Data)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(r.Data)))
+	rec = append(rec, r.Data...)
+	_, err := w.w.Write(rec)
 	return err
 }
 
@@ -212,11 +220,34 @@ func ReadFile(path string) ([]Record, error) {
 // tcpdump process attached to the router's LAN interface.
 type Capture struct {
 	Records []Record
+	// arena bump-allocates record payload copies in 64 KiB chunks: one
+	// allocation per chunk instead of one per frame. Chunks are never
+	// reused, so Record.Data slices stay stable for the capture's life.
+	arena arena
 }
 
-// Add appends a frame, copying data so callers may reuse their buffers.
+// arena is a minimal bump allocator (pcapio stays stdlib-only, so it does
+// not borrow the packet package's).
+type arena struct{ chunk []byte }
+
+func (a *arena) copyIn(b []byte) []byte {
+	n := len(b)
+	if cap(a.chunk)-len(a.chunk) < n {
+		size := 1 << 16
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]byte, 0, size)
+	}
+	off := len(a.chunk)
+	a.chunk = append(a.chunk, b...)
+	return a.chunk[off : off+n : off+n]
+}
+
+// Add appends a frame, copying data (into the capture's arena) so callers
+// may reuse their buffers.
 func (c *Capture) Add(t time.Time, data []byte) {
-	c.Records = append(c.Records, Record{Time: t, Data: append([]byte(nil), data...)})
+	c.Records = append(c.Records, Record{Time: t, Data: c.arena.copyIn(data)})
 }
 
 // Len returns the number of captured frames.

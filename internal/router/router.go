@@ -51,6 +51,10 @@ type Router struct {
 
 	port  *netsim.Port
 	clock *netsim.Clock
+	// tx is the reusable serialization buffer for frames the router
+	// originates; the switch copies frames at enqueue time, so the buffer
+	// can be reused immediately after Send.
+	tx *packet.Buffer
 
 	// dhcp4Leases maps client MAC to its assigned private address.
 	dhcp4Leases map[packet.MAC]netip.Addr
@@ -100,6 +104,7 @@ func New(cfg Config, cl *cloud.Cloud) *Router {
 	return &Router{
 		Cfg:         cfg,
 		Cloud:       cl,
+		tx:          packet.NewBuffer(128),
 		dhcp4Leases: make(map[packet.MAC]netip.Addr),
 		dhcp6Leases: make(map[string]netip.Addr),
 		Neighbors:   make(map[netip.Addr]packet.MAC),
@@ -161,15 +166,43 @@ func (r *Router) handleARP(p *packet.Packet) {
 		return
 	}
 	r.ARPTable[p.ARP.SenderIP] = p.ARP.SenderMAC
-	reply, err := packet.Serialize(
+	r.transmit(
 		&packet.Ethernet{Dst: p.Ethernet.Src, Src: RouterMAC, Type: packet.EtherTypeARP},
 		&packet.ARP{
 			Op: packet.ARPReply, SenderMAC: RouterMAC, SenderIP: RouterV4,
 			TargetMAC: p.ARP.SenderMAC, TargetIP: p.ARP.SenderIP,
 		})
-	if err == nil {
-		r.port.Send(reply)
+}
+
+// transmit serializes layers through the router's reusable tx buffer and
+// sends the frame onto the LAN. It reports whether a frame went out.
+func (r *Router) transmit(layers ...packet.SerializableLayer) bool {
+	frame, err := packet.SerializeInto(r.tx, layers...)
+	if err != nil {
+		return false
 	}
+	r.port.Send(frame)
+	return true
+}
+
+// transmitL4 wraps an L4 layer in the right IP version and Ethernet
+// framing and sends it, for reply paths that transmit immediately.
+func (r *Router) transmitL4(dstMAC, srcMAC packet.MAC, src, dst netip.Addr, l4 packet.SerializableLayer) {
+	var ipLayer packet.SerializableLayer
+	typ := packet.EtherTypeIPv4
+	if src.Is4() {
+		ipLayer = &packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst}
+	} else {
+		ipLayer = &packet.IPv6{NextHeader: protoOf(l4), Src: src, Dst: dst}
+		typ = packet.EtherTypeIPv6
+	}
+	layers := []packet.SerializableLayer{
+		&packet.Ethernet{Dst: dstMAC, Src: srcMAC, Type: typ}, ipLayer, l4,
+	}
+	if extra := payloadOf(l4); extra != nil {
+		layers = append(layers, packet.Raw(extra))
+	}
+	r.transmit(layers...)
 }
 
 func (r *Router) handleIPv4(p *packet.Packet) {
@@ -313,10 +346,7 @@ func (r *Router) deliverWANReplyV4(raw []byte, devMAC packet.MAC) {
 	if mac.IsZero() {
 		mac = devMAC
 	}
-	frame, err := buildFrame(mac, RouterMAC, rp.IPv4.Src, devIP, l4)
-	if err == nil {
-		r.port.Send(frame)
-	}
+	r.transmitL4(mac, RouterMAC, rp.IPv4.Src, devIP, l4)
 }
 
 func (r *Router) ipForMACv4(mac packet.MAC) netip.Addr {
@@ -381,10 +411,7 @@ func (r *Router) deliverWANv6(raw []byte) {
 	if !ok {
 		return
 	}
-	frame, err := prependEthernet(mac, RouterMAC, packet.EtherTypeIPv6, raw)
-	if err == nil {
-		r.port.Send(frame)
-	}
+	r.transmit(&packet.Ethernet{Dst: mac, Src: RouterMAC, Type: packet.EtherTypeIPv6}, packet.Raw(raw))
 }
 
 // InjectWANv6 delivers an unsolicited raw IPv6 packet arriving from the
@@ -404,24 +431,18 @@ func (r *Router) sendPacketTooBig(p *packet.Packet, mtu int, raw []byte) {
 	binary.BigEndian.PutUint32(body[:4], uint32(mtu))
 	body = append(body, raw[:min(len(raw), maxInvoking)]...)
 	dst := p.IPv6.Src
-	frame, err := packet.Serialize(
+	if r.transmit(
 		&packet.Ethernet{Dst: p.Ethernet.Src, Src: RouterMAC, Type: packet.EtherTypeIPv6},
 		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 64, Src: RouterLLA, Dst: dst},
 		&packet.ICMPv6{Type: packet.ICMPv6TypePacketTooBig, Body: body, Src: RouterLLA, Dst: dst},
-	)
-	if err == nil {
+	) {
 		r.PTBSent++
-		r.port.Send(frame)
 	}
 }
 
 // reserializeIPv6 strips the Ethernet header, returning the raw IP packet.
 func reserializeIPv6(p *packet.Packet) ([]byte, error) {
 	return append([]byte(nil), p.Ethernet.PayloadData...), nil
-}
-
-func prependEthernet(dst, src packet.MAC, typ packet.EtherType, ip []byte) ([]byte, error) {
-	return packet.Serialize(&packet.Ethernet{Dst: dst, Src: src, Type: typ}, packet.Raw(ip))
 }
 
 // buildIPPacket serializes an IPv4 packet around an L4 layer, re-emitting
@@ -431,24 +452,6 @@ func buildIPPacket(src, dst netip.Addr, l4 packet.SerializableLayer) ([]byte, er
 		&packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst},
 	}
 	layers = append(layers, l4)
-	if extra := payloadOf(l4); extra != nil {
-		layers = append(layers, packet.Raw(extra))
-	}
-	return packet.Serialize(layers...)
-}
-
-func buildFrame(dstMAC, srcMAC packet.MAC, src, dst netip.Addr, l4 packet.SerializableLayer) ([]byte, error) {
-	var ipLayer packet.SerializableLayer
-	typ := packet.EtherTypeIPv4
-	if src.Is4() {
-		ipLayer = &packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst}
-	} else {
-		ipLayer = &packet.IPv6{NextHeader: protoOf(l4), Src: src, Dst: dst}
-		typ = packet.EtherTypeIPv6
-	}
-	layers := []packet.SerializableLayer{
-		&packet.Ethernet{Dst: dstMAC, Src: srcMAC, Type: typ}, ipLayer, l4,
-	}
 	if extra := payloadOf(l4); extra != nil {
 		layers = append(layers, packet.Raw(extra))
 	}

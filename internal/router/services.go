@@ -51,11 +51,8 @@ func (r *Router) handleDHCPv4(p *packet.Packet) {
 		return
 	}
 	r.ARPTable[lease] = msg.ClientMAC
-	frame, err := buildFrame(msg.ClientMAC, RouterMAC, RouterV4, lease,
+	r.transmitL4(msg.ClientMAC, RouterMAC, RouterV4, lease,
 		&packet.UDP{SrcPort: dhcp4.ServerPort, DstPort: dhcp4.ClientPort, Src: RouterV4, Dst: lease, PayloadData: wire})
-	if err == nil {
-		r.port.Send(frame)
-	}
 }
 
 // LeaseFor returns the DHCPv4 lease assigned to a MAC, if any.
@@ -119,14 +116,11 @@ func (r *Router) SendRouterAdvert() {
 		ra.RDNSS = []ndp.RDNSS{{Lifetime: 1800 * time.Second, Servers: []netip.Addr{cloud.DNSv6}}}
 	}
 	dst := addr.AllNodesMulticast
-	frame, err := packet.Serialize(
+	r.transmit(
 		&packet.Ethernet{Dst: addr.MulticastMAC(dst), Src: RouterMAC, Type: packet.EtherTypeIPv6},
 		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 255, Src: RouterLLA, Dst: dst},
 		&packet.ICMPv6{Type: packet.ICMPv6TypeRouterAdvert, Body: ra.MarshalBody(), Src: RouterLLA, Dst: dst},
 	)
-	if err == nil {
-		r.port.Send(frame)
-	}
 }
 
 func (r *Router) sendNA(dstMAC packet.MAC, dstIP, target netip.Addr) {
@@ -136,14 +130,11 @@ func (r *Router) sendNA(dstMAC packet.MAC, dstIP, target netip.Addr) {
 		dstMAC = addr.MulticastMAC(dstIP)
 	}
 	na := &ndp.NeighborAdvert{Router: true, Solicited: true, Override: true, Target: target, TargetLinkAddr: RouterMAC}
-	frame, err := packet.Serialize(
+	r.transmit(
 		&packet.Ethernet{Dst: dstMAC, Src: RouterMAC, Type: packet.EtherTypeIPv6},
 		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 255, Src: RouterLLA, Dst: dstIP},
 		&packet.ICMPv6{Type: packet.ICMPv6TypeNeighborAdvert, Body: na.MarshalBody(), Src: RouterLLA, Dst: dstIP},
 	)
-	if err == nil {
-		r.port.Send(frame)
-	}
 }
 
 // handleDHCPv6 implements the dnsmasq DHCPv6 server in the modes Table 2
@@ -196,11 +187,8 @@ func (r *Router) handleDHCPv6(p *packet.Packet) {
 		return
 	}
 	src := p.IPv6.Src
-	frame, err := buildFrame(p.Ethernet.Src, RouterMAC, RouterLLA, src,
+	r.transmitL4(p.Ethernet.Src, RouterMAC, RouterLLA, src,
 		&packet.UDP{SrcPort: dhcp6.ServerPort, DstPort: dhcp6.ClientPort, Src: RouterLLA, Dst: src, PayloadData: wire})
-	if err == nil {
-		r.port.Send(frame)
-	}
 }
 
 // leaseV6 assigns a stable IA_NA address from the GUA prefix per DUID.

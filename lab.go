@@ -89,6 +89,7 @@ type options struct {
 	seed        uint64
 	maxFrames   int
 	fault       *faults.Profile
+	workers     int
 }
 
 // Option configures New.
@@ -120,6 +121,18 @@ func WithMaxFramesPerRun(n int) Option {
 // perfect network and byte-identical default output.
 func WithFaultProfile(p faults.Profile) Option {
 	return func(o *options) { o.fault = &p }
+}
+
+// WithWorkers runs the connectivity experiments, the analysis extraction,
+// and the resilience grid's profiles on a pool of up to n workers. Output
+// is byte-identical for every n: results merge in config order and pcap
+// timestamps are rebased onto the serial timeline (see the experiment
+// package). 0 or 1 means serial; n > 1 with an active fault profile falls
+// back to serial for the connectivity study (the fault path is
+// order-dependent) while the resilience grid still parallelizes across
+// profiles.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
 // Lab is the top-level handle: a configured study plus, after Run, the
@@ -167,7 +180,11 @@ func New(opts ...Option) *Lab {
 // studyOptions reconstructs the (fault-free) study options the lab was
 // built with, for parts that build their own studies.
 func (l *Lab) studyOptions() experiment.StudyOptions {
-	return experiment.StudyOptions{Devices: l.opts.devices, MaxFramesPerRun: l.opts.maxFrames}
+	return experiment.StudyOptions{
+		Devices:         l.opts.devices,
+		MaxFramesPerRun: l.opts.maxFrames,
+		Workers:         l.opts.workers,
+	}
 }
 
 // resolveDevices maps names onto registry profiles, preserving registry
