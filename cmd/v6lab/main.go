@@ -5,8 +5,8 @@
 //
 //	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare]
 //	      [-fleet 100 -workers 8 -fleet-seed 1] [-resilience] [-fault lossy-wifi]
-//	      [-seed 1] [-parallel 6] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	      [-list]
+//	      [-seed 1] [-parallel 6] [-metrics metrics.json] [-progress]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-list]
 //
 // Without -artifact, every artifact is printed in report order. The
 // command takes no positional arguments; unknown flags or arguments exit
@@ -27,6 +27,7 @@ import (
 	"v6lab/internal/device"
 	"v6lab/internal/faults"
 	"v6lab/internal/fleet"
+	"v6lab/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "impairment seed for -fault and -resilience; identical seeds reproduce runs byte-for-byte")
 	devices := fs.String("devices", "", "comma-separated device names restricting the testbed (default: the full registry)")
 	parallel := fs.Int("parallel", 0, "run the connectivity experiments (and analysis) on up to N workers; output is byte-identical for any N (0/1 = serial)")
+	metricsPath := fs.String("metrics", "", "write the deterministic telemetry snapshot to this file after the run (.prom/.txt = Prometheus text format, otherwise JSON)")
+	progress := fs.Bool("progress", false, "stream one line per completed experiment, fleet home, firewall policy, and resilience profile to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -139,6 +142,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *parallel > 1 {
 		labOpts = append(labOpts, v6lab.WithWorkers(*parallel))
 	}
+	if *metricsPath != "" {
+		labOpts = append(labOpts, v6lab.WithTelemetry(telemetry.NewRegistry()))
+	}
+	if *progress {
+		labOpts = append(labOpts, v6lab.WithProgress(telemetry.NewWriterSink(stderr)))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -180,6 +189,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		AAAAEverywhere:         *aaaaEverywhere,
 	}, labOpts...)
 
+	// writeMetrics exports the telemetry snapshot; it runs on every exit
+	// path that follows a completed study, including the fleet-only and
+	// resilience-only early returns.
+	writeMetrics := func() int {
+		if *metricsPath == "" {
+			return 0
+		}
+		snap, ok := lab.TelemetrySnapshot()
+		if !ok {
+			return 0
+		}
+		var data []byte
+		var err error
+		if strings.HasSuffix(*metricsPath, ".prom") || strings.HasSuffix(*metricsPath, ".txt") {
+			data = snap.Prometheus()
+		} else {
+			data, err = snap.JSON()
+		}
+		if err == nil {
+			err = os.WriteFile(*metricsPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "metrics snapshot written to %s\n", *metricsPath)
+		return 0
+	}
+
 	if *fleetN > 0 {
 		fmt.Fprintf(stderr, "simulating a fleet of %d homes (seed %d, workers %d)...\n",
 			*fleetN, *fleetSeed, *workers)
@@ -189,6 +227,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		// The fleet artifact needs no single-home study: render and exit.
 		if *artifact == string(v6lab.FleetStudy) && *pcapDir == "" && *csvDir == "" && *fwPolicy == "" && !*resilience {
+			if code := writeMetrics(); code != 0 {
+				return code
+			}
 			return render(lab, v6lab.FleetStudy, stdout, stderr)
 		}
 	}
@@ -203,6 +244,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// with nothing else requested, render it and exit.
 		if (*artifact == "" || *artifact == string(v6lab.ResilienceStudy)) &&
 			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 {
+			if code := writeMetrics(); code != 0 {
+				return code
+			}
 			return render(lab, v6lab.ResilienceStudy, stdout, stderr)
 		}
 	}
@@ -238,6 +282,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "CSV series written to %s\n", *csvDir)
 	}
 
+	if code := writeMetrics(); code != 0 {
+		return code
+	}
 	if *artifact != "" {
 		return render(lab, v6lab.Artifact(*artifact), stdout, stderr)
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -116,5 +118,49 @@ func TestResilienceArtifactSelection(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "Functional devices per configuration") {
 		t.Errorf("missing grid table:\n%s", stdout)
+	}
+}
+
+// TestMetricsAndProgressOnFleetPath: the fleet-only early return still
+// writes the -metrics snapshot, and -progress streams one line per home.
+func TestMetricsAndProgressOnFleetPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	code, _, stderr := runCmd("-fleet", "3", "-artifact", "fleet", "-metrics", path, "-progress")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics file not written on the fleet-only path: %v", err)
+	}
+	for _, want := range []string{`"sim_time"`, "fleet_homes_completed_total", "device_functional_tests_total"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+	if got := strings.Count(stderr, "[fleet]"); got != 3 {
+		t.Errorf("progress stream has %d fleet lines, want 3\n%s", got, stderr)
+	}
+	if !strings.Contains(stderr, "metrics snapshot written to") {
+		t.Errorf("stderr missing the metrics confirmation: %q", stderr)
+	}
+}
+
+// TestMetricsPrometheusFormat: a .prom suffix selects the text format,
+// on the resilience-only early return.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	code, _, stderr := runCmd("-resilience", "-devices", "Wyze Cam", "-metrics", path)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics file not written on the resilience-only path: %v", err)
+	}
+	for _, want := range []string{"# TYPE v6lab_experiment_runs_total counter", "v6lab_device_failure_stages_total{stage="} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("Prometheus snapshot missing %q", want)
+		}
 	}
 }

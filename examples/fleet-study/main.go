@@ -27,7 +27,7 @@ func main() {
 	}
 
 	lab := v6lab.New()
-	if err := lab.RunFleetWith(fleet.Config{Homes: homes, Workers: workers}); err != nil {
+	if err := lab.Run(v6lab.FleetWith(fleet.Config{Homes: homes, Workers: workers})); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(lab.Report(v6lab.FleetStudy))

@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"v6lab/internal/packet"
 	"v6lab/internal/pcapio"
 	"v6lab/internal/router"
+	"v6lab/internal/telemetry"
 )
 
 // Config is one connectivity experiment.
@@ -155,6 +157,18 @@ type Study struct {
 	// is the perfect network and leaves every run byte-identical to a
 	// study built without fault support.
 	Faults *faults.Profile
+
+	// Telemetry, when non-nil, is the registry every subsystem counts
+	// into; nil (the default) runs fully uninstrumented.
+	Telemetry *telemetry.Registry
+	// Progress, when non-nil, receives a completion event per experiment
+	// (and per firewall policy). The event stream is completion-ordered —
+	// a live view, deliberately outside the deterministic snapshot.
+	Progress telemetry.Sink
+
+	// tm caches the registry's pre-resolved instruments; nil when
+	// Telemetry is nil.
+	tm *studyMetrics
 }
 
 // StudyOptions parameterizes testbed construction. The zero value builds
@@ -182,6 +196,12 @@ type StudyOptions struct {
 	// 0 or 1 means the serial engine. Results are byte-identical either
 	// way (parallel.go).
 	Workers int
+	// Telemetry, when non-nil, instruments every subsystem the study
+	// touches into the given registry. Studies sharing a registry (fleet
+	// homes, resilience profiles) accumulate into the same counters.
+	Telemetry *telemetry.Registry
+	// Progress, when non-nil, receives per-unit completion events.
+	Progress telemetry.Sink
 }
 
 // NewStudy builds the testbed: 93 device stacks, their workload plans, and
@@ -222,6 +242,11 @@ func NewStudyWith(opts StudyOptions) *Study {
 		ActiveDNS:       map[string]AAAAResult{},
 		MaxFramesPerRun: maxFrames,
 		Workers:         opts.Workers,
+		Telemetry:       opts.Telemetry,
+		Progress:        opts.Progress,
+	}
+	if opts.Telemetry != nil {
+		st.tm = newStudyMetrics(opts.Telemetry)
 	}
 	if opts.Faults != nil && opts.Faults.Active() {
 		fp := *opts.Faults
@@ -243,12 +268,27 @@ func NewStudyWith(opts StudyOptions) *Study {
 // then the active DNS queries and the port scans. Both engines produce
 // byte-identical results.
 func (st *Study) RunAll() error {
-	if err := st.runConnectivity(); err != nil {
+	return st.RunAllContext(context.Background())
+}
+
+// RunAllContext is RunAll with cancellation: ctx is checked between
+// experiments (and before the active phases), so a cancelled study
+// returns ctx.Err() promptly without appending partial results.
+func (st *Study) RunAllContext(ctx context.Context) error {
+	if err := st.runConnectivity(ctx); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	st.RunActiveDNS()
 	var err error
 	st.Scan, err = st.RunPortScan()
+	if err == nil && st.tm != nil {
+		// One fold of the study's accumulated cloud query totals, after
+		// both engines have converged on identical counts.
+		st.tm.foldCloud(st.Cloud)
+	}
 	return err
 }
 
@@ -256,11 +296,14 @@ func (st *Study) RunAll() error {
 // worker pool. Under active faults the DHCPv4 XID sequence depends on how
 // many retransmissions earlier experiments provoked, which only the serial
 // engine can know, so faulted studies always run serially.
-func (st *Study) runConnectivity() error {
+func (st *Study) runConnectivity(ctx context.Context) error {
 	if st.Workers > 1 && st.Faults == nil {
-		return st.runConnectivityParallel(st.Workers)
+		return st.runConnectivityParallel(ctx, st.Workers)
 	}
 	for _, cfg := range Configs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := st.RunExperiment(cfg)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", cfg.ID, err)
@@ -274,7 +317,11 @@ func (st *Study) runConnectivity() error {
 // let devices register with their clouds, run the workload, and apply the
 // functionality test.
 func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
+	began := st.Clock.Now()
 	net := netsim.NewNetwork(st.Clock)
+	if st.tm != nil {
+		net.SetMetrics(st.tm.net)
+	}
 	cap := &pcapio.Capture{}
 	net.AddTap(cap)
 
@@ -348,6 +395,26 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 		res.PTBSent = rt.PTBSent
 		res.ServiceDrops = rt.Faults.RAsDropped + rt.Faults.DHCPv6Dropped + rt.Faults.AAAADropped
 	}
+	// Fold before the inter-experiment hour so elapsed reflects only
+	// simulated time this run consumed — the same value under the serial
+	// engine (shared advancing clock) and the parallel one (private
+	// clock from a common base).
+	elapsed := st.Clock.Now().Sub(began)
+	if st.tm != nil {
+		st.tm.foldRun(cfg, rt, st.Stacks, elapsed)
+	}
+	functional := 0
+	for _, ok := range res.Functional {
+		if ok {
+			functional++
+		}
+	}
+	telemetry.Emit(st.Progress, telemetry.Event{
+		Scope:   "experiment",
+		ID:      cfg.ID,
+		Detail:  fmt.Sprintf("%d/%d devices functional, %d frames", functional, len(st.Stacks), res.Capture.Len()),
+		Elapsed: elapsed,
+	})
 	st.Clock.Advance(time.Hour)
 	return res, nil
 }
@@ -368,6 +435,9 @@ func (st *Study) retryRounds(net *netsim.Network, retry func(*device.Stack) int)
 		}
 		if sent == 0 {
 			return nil
+		}
+		if st.tm != nil {
+			st.tm.retryRounds.Inc()
 		}
 		if _, err := net.Run(st.MaxFramesPerRun); err != nil {
 			return err
@@ -392,6 +462,17 @@ func (st *Study) RunActiveDNS() {
 				Party:   sp.Party,
 			}
 		}
+	}
+}
+
+// FoldCloudMetrics folds the study's not-yet-folded cloud query counts
+// into the telemetry registry (a no-op without telemetry). RunAllContext
+// and the firewall-exposure loop call it automatically; callers driving
+// RunExperiment directly (the fleet's single-config homes, the
+// resilience grid) call it once their study is done.
+func (st *Study) FoldCloudMetrics() {
+	if st.tm != nil {
+		st.tm.foldCloud(st.Cloud)
 	}
 }
 

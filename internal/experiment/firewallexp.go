@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"net/netip"
 	"sort"
 
@@ -11,6 +12,7 @@ import (
 	"v6lab/internal/netsim"
 	"v6lab/internal/packet"
 	"v6lab/internal/router"
+	"v6lab/internal/telemetry"
 )
 
 // WANScannerV6 is the remote vantage the firewall-exposure experiment
@@ -112,17 +114,33 @@ func (st *Study) RunFirewallExposureUnder(cfg Config, policies []firewall.Policy
 	ports := probePorts(st.Profiles)
 	rep := &FirewallReport{Ports: ports}
 	for _, pol := range policies {
+		began := st.Clock.Now()
 		pe, err := st.runExposure(cfg, pol, ports)
 		if err != nil {
 			return nil, err
 		}
 		rep.Policies = append(rep.Policies, *pe)
+		if st.tm != nil {
+			st.tm.foldFirewall(pe)
+			// The exposure runs add cloud queries after the study's
+			// RunAll fold; pick up the per-policy delta here.
+			st.tm.foldCloud(st.Cloud)
+		}
+		telemetry.Emit(st.Progress, telemetry.Event{
+			Scope:   "firewall",
+			ID:      pe.Policy,
+			Detail:  fmt.Sprintf("%d/%d devices reachable, %d ports open", pe.DevicesReachable, pe.DevicesProbed, pe.PortsReachable),
+			Elapsed: st.Clock.Now().Sub(began),
+		})
 	}
 	return rep, nil
 }
 
 func (st *Study) runExposure(cfg Config, pol firewall.Policy, ports []uint16) (*PolicyExposure, error) {
 	net := netsim.NewNetwork(st.Clock)
+	if st.tm != nil {
+		net.SetMetrics(st.tm.net)
+	}
 	rt := router.New(cfg.Router, st.Cloud)
 	fw := firewall.New(pol, st.Clock, conntrack.DefaultConfig())
 	rt.SetFirewall(fw)

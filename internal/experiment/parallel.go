@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -45,7 +47,7 @@ import (
 
 // runConnectivityParallel executes the Table 2 grid on a bounded worker
 // pool of isolated environments and merges the outcomes in config order.
-func (st *Study) runConnectivityParallel(workers int) error {
+func (st *Study) runConnectivityParallel(ctx context.Context, workers int) error {
 	start := st.Clock.Now()
 	type outcome struct {
 		res     *RunResult
@@ -64,6 +66,10 @@ func (st *Study) runConnectivityParallel(workers int) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
 				env := st.isolatedEnv(start)
 				env.seedDHCP4(Configs[:i])
 				res, err := env.RunExperiment(Configs[i])
@@ -80,12 +86,19 @@ func (st *Study) runConnectivityParallel(workers int) error {
 	close(jobs)
 	wg.Wait()
 
+	// Scan for failures before touching st.Results: a cancelled or failed
+	// pool leaves the study with no partial results appended.
+	for i := range Configs {
+		if err := outcomes[i].err; err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			return fmt.Errorf("experiment %s: %w", Configs[i].ID, err)
+		}
+	}
 	var offset time.Duration
 	for i := range Configs {
 		out := outcomes[i]
-		if out.err != nil {
-			return fmt.Errorf("experiment %s: %w", Configs[i].ID, out.err)
-		}
 		// Rebase this capture from the common base onto the serial
 		// timeline: everything experiments 0..i-1 consumed comes first.
 		recs := out.res.Capture.Records
@@ -117,6 +130,13 @@ func (st *Study) isolatedEnv(base time.Time) *Study {
 		Clock:           netsim.NewClock(base),
 		MACToDevice:     st.MACToDevice,
 		MaxFramesPerRun: st.MaxFramesPerRun,
+		// The environments share the parent's instruments and sink:
+		// counter folds are atomic additions (order-independent), and
+		// cloud-query folding stays with the parent, which merges the
+		// clones' counters in config order before its single fold.
+		Telemetry: st.Telemetry,
+		Progress:  st.Progress,
+		tm:        st.tm,
 	}
 	for i, p := range st.Profiles {
 		env.Stacks = append(env.Stacks, device.NewStack(p, st.Plans[i], i, prefixes))

@@ -57,6 +57,9 @@ func probePorts(profiles []*device.Profile) []uint16 {
 // neighbor table exactly as §4.3 describes.
 func (st *Study) RunPortScan() (*ScanReport, error) {
 	net := netsim.NewNetwork(st.Clock)
+	if st.tm != nil {
+		net.SetMetrics(st.tm.net)
+	}
 	cfg := Configs[len(Configs)-1] // dual-stack (stateful): everything live
 	rt := router.New(cfg.Router, st.Cloud)
 	rt.Attach(net)

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"v6lab/internal/faults"
+	"v6lab/internal/telemetry"
 )
 
 // ResilienceConfig aggregates one Table 2 experiment's outcome under one
@@ -70,6 +72,13 @@ func (r *ResilienceReport) Config(profile, id string) *ResilienceConfig {
 // profile the experiments stay serial: faults make the DHCPv4 XID chain
 // order-dependent; see runConnectivity.)
 func RunResilience(opts StudyOptions, profiles ...faults.Profile) (*ResilienceReport, error) {
+	return RunResilienceContext(context.Background(), opts, profiles...)
+}
+
+// RunResilienceContext is RunResilience with cancellation: ctx is checked
+// before each profile's grid, and a cancelled run returns ctx.Err() with
+// no report.
+func RunResilienceContext(ctx context.Context, opts StudyOptions, profiles ...faults.Profile) (*ResilienceReport, error) {
 	if len(profiles) == 0 {
 		profiles = faults.Grid()
 	}
@@ -80,6 +89,9 @@ func RunResilience(opts StudyOptions, profiles ...faults.Profile) (*ResilienceRe
 	}
 	if workers <= 1 {
 		for i, p := range profiles {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			po, devices, err := runResilienceProfile(opts, p)
 			if err != nil {
 				return nil, err
@@ -98,6 +110,10 @@ func RunResilience(opts StudyOptions, profiles ...faults.Profile) (*ResilienceRe
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				rep.Profiles[i], devices[i], errs[i] = runResilienceProfile(opts, profiles[i])
 			}
 		}()
@@ -107,6 +123,9 @@ func RunResilience(opts StudyOptions, profiles ...faults.Profile) (*ResilienceRe
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, err
@@ -123,6 +142,7 @@ func runResilienceProfile(opts StudyOptions, p faults.Profile) (*ResilienceProfi
 	fp := p
 	o.Faults = &fp
 	st := NewStudyWith(o)
+	began := st.Clock.Now()
 	po := &ResilienceProfile{Profile: p}
 	for _, cfg := range Configs {
 		res, err := st.RunExperiment(cfg)
@@ -152,5 +172,12 @@ func runResilienceProfile(opts StudyOptions, p faults.Profile) (*ResilienceProfi
 		po.ByConfig = append(po.ByConfig, rc)
 		po.FunctionalTotal += rc.Functional
 	}
+	st.FoldCloudMetrics()
+	telemetry.Emit(st.Progress, telemetry.Event{
+		Scope:   "resilience",
+		ID:      p.Name,
+		Detail:  fmt.Sprintf("%d/%d device-runs functional", po.FunctionalTotal, len(st.Stacks)*len(Configs)),
+		Elapsed: st.Clock.Now().Sub(began),
+	})
 	return po, len(st.Stacks), nil
 }

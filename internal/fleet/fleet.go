@@ -11,15 +11,18 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"v6lab/internal/addr"
 	"v6lab/internal/analysis"
 	"v6lab/internal/device"
 	"v6lab/internal/experiment"
 	"v6lab/internal/firewall"
+	"v6lab/internal/telemetry"
 )
 
 // SizeBand is one bucket of the household-size distribution: homes in the
@@ -59,6 +62,13 @@ type Config struct {
 	MaxFramesPerRun int
 	// SkipExposure disables the per-home WAN-vantage inbound scan.
 	SkipExposure bool
+	// Telemetry, when non-nil, instruments every home's subsystems into
+	// the shared registry. All folds are commuting counter additions, so
+	// the final snapshot is identical for any worker count.
+	Telemetry *telemetry.Registry
+	// Progress, when non-nil, receives one event per completed home (in
+	// completion order — a live stream, not part of the snapshot).
+	Progress telemetry.Sink
 }
 
 // DefaultSizes is the default household-size distribution: mostly small
@@ -247,6 +257,9 @@ type HomeResult struct {
 	// FramesCaptured is the home run's capture length.
 	FramesCaptured int
 
+	// Elapsed is the simulated time the home's runs consumed.
+	Elapsed time.Duration
+
 	// Exposure holds the WAN-vantage inbound scan under the home's
 	// policy; nil for IPv4-only homes or when the scan is skipped.
 	Exposure *experiment.PolicyExposure
@@ -262,7 +275,9 @@ func runHome(cfg Config, spec HomeSpec) (*HomeResult, error) {
 	st := experiment.NewStudyWith(experiment.StudyOptions{
 		Devices:         profiles,
 		MaxFramesPerRun: cfg.MaxFramesPerRun,
+		Telemetry:       cfg.Telemetry,
 	})
+	began := st.Clock.Now()
 	ec, ok := experiment.ConfigByID(spec.ConfigID)
 	if !ok {
 		return nil, fmt.Errorf("unknown connectivity config %q", spec.ConfigID)
@@ -322,6 +337,8 @@ func runHome(cfg Config, spec HomeSpec) (*HomeResult, error) {
 		}
 		hr.Exposure = &rep.Policies[0]
 	}
+	st.FoldCloudMetrics()
+	hr.Elapsed = st.Clock.Now().Sub(began)
 	return hr, nil
 }
 
@@ -337,9 +354,26 @@ type Population struct {
 // Population (and anything rendered from it) is byte-identical for any
 // worker count.
 func Run(cfg Config) (*Population, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: ctx is checked before each home
+// starts, and a cancelled fleet returns ctx.Err() with no Population —
+// never a partial one.
+func RunContext(ctx context.Context, cfg Config) (*Population, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Homes <= 0 {
 		return nil, fmt.Errorf("fleet: Homes must be positive, got %d", cfg.Homes)
+	}
+	if cfg.Telemetry != nil {
+		// Gauge writes are last-write-wins, so this is set once here, on
+		// the single deterministic path before the pool starts — never
+		// from worker goroutines.
+		cfg.Telemetry.Gauge("fleet", "homes_planned", "Homes scheduled for this fleet run.").Set(int64(cfg.Homes))
+	}
+	var homesDone *telemetry.Counter
+	if cfg.Telemetry != nil {
+		homesDone = cfg.Telemetry.Counter("fleet", "homes_completed_total", "Fleet homes simulated to completion.")
 	}
 	results := make([]*HomeResult, cfg.Homes)
 	errs := make([]error, cfg.Homes)
@@ -354,7 +388,22 @@ func Run(cfg Config) (*Population, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				results[i], errs[i] = runHome(cfg, cfg.SpecFor(i))
+				if hr := results[i]; hr != nil {
+					if homesDone != nil {
+						homesDone.Inc()
+					}
+					telemetry.Emit(cfg.Progress, telemetry.Event{
+						Scope:   "fleet",
+						ID:      fmt.Sprintf("home %d/%d", i+1, cfg.Homes),
+						Detail:  fmt.Sprintf("%s, %d devices, %d/%d functional", hr.Spec.ConfigID, hr.Devices, hr.Functional, hr.Devices),
+						Elapsed: hr.Elapsed,
+					})
+				}
 			}
 		}()
 	}
@@ -363,6 +412,11 @@ func Run(cfg Config) (*Population, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	// A cancelled fleet registers nothing: the ctx error wins over any
+	// per-home results already computed.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: home %d: %w", i, err)

@@ -6,6 +6,7 @@ import (
 
 	"v6lab/internal/packet"
 	"v6lab/internal/pcapio"
+	"v6lab/internal/telemetry"
 )
 
 type sinkHost struct{ n int }
@@ -41,9 +42,12 @@ func BenchmarkDelivery(b *testing.B) {
 // BenchmarkFramePath measures the per-frame hot path the studies exercise:
 // enqueue (arena copy) → impairment-free delivery → capture tap (arena
 // copy) → handler dispatch. Allocs/op here is the number the CI bench
-// gate tracks; the arena design keeps it amortized near zero.
+// gate tracks; the arena design keeps it amortized near zero. Telemetry
+// is enabled so the gate also proves the instruments stay off the heap:
+// a counter update is one atomic add, a histogram observation two.
 func BenchmarkFramePath(b *testing.B) {
 	n := NewNetwork(NewClock(time.Unix(0, 0)))
+	n.SetMetrics(NewMetrics(telemetry.NewRegistry()))
 	cap := &pcapio.Capture{}
 	n.AddTap(cap)
 	hosts := [2]*sinkHost{{}, {}}

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+
+	"v6lab/internal/telemetry"
+)
+
+// TestSwitchMetrics exercises every instrument the switch updates:
+// arena bytes at enqueue, switched/dropped/impaired in the delivery
+// loop, and the frame-size histogram.
+func TestSwitchMetrics(t *testing.T) {
+	n, a, _, _ := newTestNet()
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	n.SetMetrics(m)
+	n.SetImpairment(&scriptedImpairment{verdicts: []Verdict{Drop, Duplicate, Defer}})
+
+	f1 := frameTo(macB, macA, "lost")
+	f2 := frameTo(macB, macA, "doubled")
+	f3 := frameTo(macB, macA, "late")
+	wantArena := len(f1) + len(f2) + len(f3)
+	a.port.Send(f1)
+	a.port.Send(f2)
+	a.port.Send(f3)
+	if _, err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+
+	// f1 dropped; f2 delivered twice (original + duplicate); f3 deferred
+	// then delivered: 3 switched frames, 1 dropped, 3 impairment verdicts.
+	if got := m.Switched.Value(); got != 3 {
+		t.Errorf("Switched = %d, want 3", got)
+	}
+	if got := m.Dropped.Value(); got != 1 {
+		t.Errorf("Dropped = %d, want 1", got)
+	}
+	if got := m.Impaired.Value(); got != 3 {
+		t.Errorf("Impaired = %d, want 3", got)
+	}
+	if got := m.ArenaBytes.Value(); got != uint64(wantArena) {
+		t.Errorf("ArenaBytes = %d, want %d", got, wantArena)
+	}
+	if got := m.FrameBytes.Count(); got != 3 {
+		t.Errorf("FrameBytes count = %d, want 3", got)
+	}
+
+	// The counters mirror the network's own diagnostics.
+	if int(m.Switched.Value()) != n.Delivered() || int(m.Dropped.Value()) != n.Dropped() {
+		t.Errorf("metrics (%d, %d) disagree with network (%d, %d)",
+			m.Switched.Value(), m.Dropped.Value(), n.Delivered(), n.Dropped())
+	}
+}

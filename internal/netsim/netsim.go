@@ -15,6 +15,7 @@ import (
 
 	"v6lab/internal/packet"
 	"v6lab/internal/pcapio"
+	"v6lab/internal/telemetry"
 )
 
 // Clock is the simulated wall clock shared by the whole testbed.
@@ -101,6 +102,36 @@ type Network struct {
 	// are never recycled, so queued frames (and any sub-slices handlers
 	// retain, e.g. a parsed DUID) stay valid for the network's lifetime.
 	arena packet.Arena
+	// metrics, when set, counts switch activity into pre-resolved
+	// telemetry instruments (plain atomic adds, no allocation).
+	metrics *Metrics
+}
+
+// Metrics holds the switch's hot-path instruments. They are resolved once
+// at registration so the frame loop does nothing but atomic additions —
+// additions commute, keeping snapshots identical across worker counts.
+type Metrics struct {
+	// Switched counts frames delivered to receivers.
+	Switched *telemetry.Counter
+	// Dropped counts frames an impairment swallowed.
+	Dropped *telemetry.Counter
+	// Impaired counts non-Deliver verdicts (drop, defer, duplicate).
+	Impaired *telemetry.Counter
+	// ArenaBytes counts bytes copied into the frame arena by enqueue.
+	ArenaBytes *telemetry.Counter
+	// FrameBytes is the per-delivered-frame size distribution.
+	FrameBytes *telemetry.Histogram
+}
+
+// NewMetrics registers (or re-binds) the switch instruments on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Switched:   r.Counter("netsim", "frames_switched_total", "Frames delivered by the L2 switch."),
+		Dropped:    r.Counter("netsim", "frames_dropped_total", "Frames swallowed by impairment verdicts."),
+		Impaired:   r.Counter("netsim", "frames_impaired_total", "Frames given a non-deliver impairment verdict (drop, defer, duplicate)."),
+		ArenaBytes: r.Counter("netsim", "arena_bytes_total", "Bytes copied into the zero-copy frame arena."),
+		FrameBytes: r.Histogram("netsim", "frame_bytes", "Per-delivered-frame sizes in bytes.", []uint64{64, 128, 256, 512, 1280, 1500}),
+	}
 }
 
 type queued struct {
@@ -136,10 +167,17 @@ func (n *Network) SetImpairment(imp Impairment) { n.imp = imp }
 // Dropped reports how many frames the installed impairment swallowed.
 func (n *Network) Dropped() int { return n.dropped }
 
+// SetMetrics installs pre-resolved telemetry instruments on the switch;
+// nil disables instrumentation (the default).
+func (n *Network) SetMetrics(m *Metrics) { n.metrics = m }
+
 func (n *Network) enqueue(from int, frame []byte) {
 	// Copy: senders reuse their serialization buffers. The copy lands in
 	// the network's frame arena, not a fresh heap slice per frame.
 	n.queue = append(n.queue, queued{from: from, frame: n.arena.CopyIn(frame)})
+	if n.metrics != nil {
+		n.metrics.ArenaBytes.Add(uint64(len(frame)))
+	}
 }
 
 // Run delivers queued frames (and any frames handlers inject) until the
@@ -159,18 +197,32 @@ func (n *Network) Run(maxFrames int) (int, error) {
 			switch n.imp.Verdict(q.frame) {
 			case Drop:
 				n.dropped++
+				if n.metrics != nil {
+					n.metrics.Dropped.Inc()
+					n.metrics.Impaired.Inc()
+				}
 				continue
 			case Defer:
 				q.deferred = true
 				n.queue = append(n.queue, q)
+				if n.metrics != nil {
+					n.metrics.Impaired.Inc()
+				}
 				continue
 			case Duplicate:
 				dup := queued{from: q.from, frame: q.frame, deferred: true}
 				n.queue = append(n.queue, dup)
+				if n.metrics != nil {
+					n.metrics.Impaired.Inc()
+				}
 			}
 		}
 		n.delivered++
 		n.Clock.Advance(n.PerFrameDelay)
+		if n.metrics != nil {
+			n.metrics.Switched.Inc()
+			n.metrics.FrameBytes.Observe(uint64(len(q.frame)))
+		}
 		for _, tap := range n.taps {
 			tap.Add(n.Clock.Now(), q.frame)
 		}

@@ -97,6 +97,9 @@ type Router struct {
 	// PTBSent counts ICMPv6 Packet-Too-Big errors emitted by the tunnel
 	// MTU clamp.
 	PTBSent int
+	// NATTranslations counts new NAT44 port mappings created on the
+	// outbound v4 path (distinct device flows, not per-packet work).
+	NATTranslations int
 }
 
 // New creates a router with the given services enabled.
@@ -278,6 +281,7 @@ func (r *Router) forwardV4(p *packet.Packet) {
 		// Full-cone mapping: replies from any remote endpoint on the
 		// translated port reach the device.
 		r.nat[natKey{proto: proto, natPort: natPort}] = entry
+		r.NATTranslations++
 	}
 	switch {
 	case p.UDP != nil:

@@ -61,6 +61,12 @@ func (r *Router) LeaseFor(mac packet.MAC) (netip.Addr, bool) {
 	return a, ok
 }
 
+// Lease4Count reports how many DHCPv4 leases the router handed out.
+func (r *Router) Lease4Count() int { return len(r.dhcp4Leases) }
+
+// Lease6Count reports how many DHCPv6 IA_NA leases the router handed out.
+func (r *Router) Lease6Count() int { return len(r.dhcp6Leases) }
+
 // handleNDP answers router solicitations with the configured RA, answers
 // neighbor solicitations for the router's own addresses, and learns
 // neighbors from advertisements.

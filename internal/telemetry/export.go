@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// MarshalJSON-adjacent helpers live here so exporter formats stay in one
+// file and the core stays dependency-free (encoding/json is stdlib).
+
+// JSON renders the snapshot as indented JSON terminated by a newline —
+// the bytes written to the `telemetry.json` artifact. Marshalling a
+// Snapshot is deterministic because its points are pre-sorted and its
+// timestamp is simulated time.
+func (s Snapshot) JSON() ([]byte, error) {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), with every metric prefixed "v6lab_". Points
+// sharing a name (counter-vector children) are grouped under one
+// HELP/TYPE header; histograms expand into cumulative _bucket series
+// plus _sum and _count.
+func (s Snapshot) Prometheus() []byte {
+	var b strings.Builder
+	seen := "" // last name a header was written for
+	for _, p := range s.Points {
+		name := "v6lab_" + p.Name
+		if p.Name != seen {
+			seen = p.Name
+			if p.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", name, p.Help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, p.Kind)
+		}
+		switch p.Kind {
+		case "histogram":
+			for _, bk := range p.Buckets {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, bk.LE, bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum %d\n", name, p.Sum)
+			fmt.Fprintf(&b, "%s_count %d\n", name, p.Value)
+		default:
+			if p.Label != "" {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", name, p.Label, p.LabelValue, p.Value)
+			} else {
+				fmt.Fprintf(&b, "%s %d\n", name, p.Value)
+			}
+		}
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite exporter golden files")
+
+// goldenRegistry builds a small, fully deterministic registry exercising
+// every metric kind.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("netsim", "frames_switched_total", "Frames delivered by the L2 switch.").Add(1234)
+	r.Counter("netsim", "frames_dropped_total", "Frames dropped by impairment verdicts.").Add(7)
+	r.Gauge("fleet", "homes_planned", "Homes scheduled for this fleet run.").Set(50)
+	h := r.Histogram("netsim", "frame_bytes", "Per-frame sizes in bytes.", []uint64{128, 512, 1500})
+	for _, v := range []uint64{60, 60, 400, 1300, 9000} {
+		h.Observe(v)
+	}
+	v := r.CounterVec("cloud", "queries_total", "DNS queries by record type.", "type")
+	v.With("A").Add(42)
+	v.With("AAAA").Add(17)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	snap := goldenRegistry().Snapshot(time.Date(2024, 3, 1, 9, 0, 42, 0, time.UTC))
+	blob, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.json", blob)
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	snap := goldenRegistry().Snapshot(time.Date(2024, 3, 1, 9, 0, 42, 0, time.UTC))
+	checkGolden(t, "snapshot.prom", snap.Prometheus())
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one progress notification from a running study or fleet:
+// an experiment finished, a home completed, a resilience profile was
+// evaluated. Elapsed is simulated time consumed by the unit of work,
+// never wall time.
+//
+// Events are a live stream ordered by completion, which under a parallel
+// engine depends on goroutine scheduling. That is deliberate: progress is
+// for watching a run, not for comparing runs, so events are excluded from
+// the deterministic Snapshot.
+type Event struct {
+	// Scope is the emitting subsystem: "experiment", "fleet", "firewall",
+	// or "resilience".
+	Scope string
+	// ID names the completed unit: a Table 2 config ID, "home 17/50", a
+	// profile name, a firewall policy.
+	ID string
+	// Detail is an optional human-readable outcome summary.
+	Detail string
+	// Elapsed is the simulated time the unit consumed.
+	Elapsed time.Duration
+}
+
+// Sink receives progress events. Implementations must be safe for
+// concurrent use: parallel engines emit from worker goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// WriterSink streams events to an io.Writer (typically stderr) as
+// single-line messages, serialised by a mutex so concurrent emitters
+// never interleave partial lines.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink wraps w in a line-per-event sink.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Emit writes one formatted progress line.
+func (s *WriterSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev.Detail != "" {
+		fmt.Fprintf(s.w, "[%s] %s: %s (sim %v)\n", ev.Scope, ev.ID, ev.Detail, ev.Elapsed)
+	} else {
+		fmt.Fprintf(s.w, "[%s] %s (sim %v)\n", ev.Scope, ev.ID, ev.Elapsed)
+	}
+}
+
+// FuncSink adapts a function to the Sink interface. The function must be
+// safe for concurrent calls.
+type FuncSink func(Event)
+
+// Emit calls the wrapped function.
+func (f FuncSink) Emit(ev Event) { f(ev) }
+
+// Emit sends ev to sink if it is non-nil; instrumented code can call it
+// unconditionally.
+func Emit(sink Sink, ev Event) {
+	if sink != nil {
+		sink.Emit(ev)
+	}
+}

@@ -1,0 +1,338 @@
+// Package telemetry is the testbed's zero-dependency, deterministic
+// metrics and event layer: counters, gauges, and fixed-bucket histograms
+// registered per subsystem on a Registry, snapshotted into byte-stable
+// JSON and Prometheus text exports, plus a streaming progress sink for
+// long runs.
+//
+// Determinism is the design constraint everything else bends around. The
+// simulator guarantees byte-identical output for any worker count, and the
+// metrics layer must not be the one thing that breaks that promise, so:
+//
+//   - Counters and histogram buckets are atomic and strictly additive.
+//     Atomic additions commute, so the final value of every counter is
+//     independent of the order concurrent workers incremented it in — a
+//     snapshot taken after a run is identical for 1 worker or 6.
+//   - Gauges are last-write-wins and therefore NOT order-independent;
+//     they must only be set from single-threaded, deterministic code
+//     (configuration values, population sizes), never from worker
+//     goroutines racing each other.
+//   - Snapshots are timestamped with the simulated clock the caller
+//     passes (netsim.Clock time), never wall time, and their points are
+//     sorted by (name, label value), so the exported bytes depend only on
+//     the run's inputs.
+//
+// The hot path is allocation-free: a Counter is one atomic word, a
+// Histogram's buckets are preallocated at registration, and Observe does
+// a bounded linear scan over the (few) bucket bounds. Registration and
+// vector-label lookup take a mutex and may allocate; they belong in
+// setup and fold code, not per-frame code.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-write-wins instantaneous value. Unlike counters, gauge
+// writes do not commute: set gauges only from single-threaded,
+// deterministic code (see the package comment).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts integer observations into fixed buckets chosen at
+// registration. Buckets are preallocated and updates are atomic adds, so
+// Observe is allocation-free and safe (and order-independent) under
+// concurrent use.
+type Histogram struct {
+	// bounds are inclusive upper bounds, ascending; an implicit +Inf
+	// bucket follows the last bound.
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// kind discriminates registry entries.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterVec
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// entry is one registered metric.
+type entry struct {
+	subsystem, name, help string
+	kind                  kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+
+	// Vector state: one child counter per label value.
+	labelKey string
+	children map[string]*Counter
+}
+
+// fullName is the qualified metric name ("netsim_frames_switched_total").
+func (e *entry) fullName() string { return e.subsystem + "_" + e.name }
+
+// CounterVec is a family of counters keyed by one label (a failure stage,
+// a DNS query type, a Table 2 config ID). Label lookup takes a mutex; hot
+// paths should cache the child counter With returns.
+type CounterVec struct {
+	mu sync.Mutex
+	e  *entry
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use.
+func (v *CounterVec) With(labelValue string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.e.children[labelValue]
+	if !ok {
+		c = &Counter{}
+		v.e.children[labelValue] = c
+	}
+	return c
+}
+
+// Registry holds every registered metric for one run. Registration is
+// idempotent: re-registering a name returns the existing metric, so
+// independent studies (fleet homes, resilience profiles, parallel
+// experiment environments) sharing a registry accumulate into the same
+// counters. Registering an existing name as a different kind panics —
+// that is a programming error, not a runtime condition.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*entry
+	entries []*entry
+	vecs    map[string]*CounterVec
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry), vecs: make(map[string]*CounterVec)}
+}
+
+// lookup finds or creates an entry, enforcing kind consistency.
+func (r *Registry) lookup(subsystem, name, help string, k kind) *entry {
+	full := subsystem + "_" + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[full]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", full, k, e.kind))
+		}
+		return e
+	}
+	e := &entry{subsystem: subsystem, name: name, help: help, kind: k}
+	r.byName[full] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter registers (or returns the existing) counter subsystem_name.
+func (r *Registry) Counter(subsystem, name, help string) *Counter {
+	e := r.lookup(subsystem, name, help, kindCounter)
+	if e.counter == nil {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge registers (or returns the existing) gauge subsystem_name.
+func (r *Registry) Gauge(subsystem, name, help string) *Gauge {
+	e := r.lookup(subsystem, name, help, kindGauge)
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// Histogram registers (or returns the existing) histogram subsystem_name
+// with the given inclusive upper bucket bounds (ascending; a +Inf bucket
+// is implicit). Re-registration ignores bounds and returns the existing
+// histogram.
+func (r *Registry) Histogram(subsystem, name, help string, bounds []uint64) *Histogram {
+	e := r.lookup(subsystem, name, help, kindHistogram)
+	if e.hist == nil {
+		h := &Histogram{bounds: append([]uint64(nil), bounds...)}
+		h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+		e.hist = h
+	}
+	return e.hist
+}
+
+// CounterVec registers (or returns the existing) one-label counter family
+// subsystem_name, with labelKey as the label name.
+func (r *Registry) CounterVec(subsystem, name, help, labelKey string) *CounterVec {
+	e := r.lookup(subsystem, name, help, kindCounterVec)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.children == nil {
+		e.labelKey = labelKey
+		e.children = make(map[string]*Counter)
+	}
+	v, ok := r.vecs[e.fullName()]
+	if !ok {
+		v = &CounterVec{e: e}
+		r.vecs[e.fullName()] = v
+	}
+	return v
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot. LE is the
+// inclusive upper bound rendered as a decimal string, "+Inf" for the
+// overflow bucket; Count is cumulative (Prometheus convention).
+type Bucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Point is one metric sample in a snapshot. For histograms, Value holds
+// the observation count and Sum the observation total; for counters and
+// gauges, Value holds the value and the histogram fields are empty.
+type Point struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Help       string   `json:"help,omitempty"`
+	Label      string   `json:"label,omitempty"`
+	LabelValue string   `json:"label_value,omitempty"`
+	Value      int64    `json:"value"`
+	Sum        uint64   `json:"sum,omitempty"`
+	Buckets    []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time view of every registered metric, sorted by
+// (name, label value). SimTime is the simulated clock's instant — never
+// wall time — so two runs with the same inputs export identical bytes.
+type Snapshot struct {
+	SimTime time.Time `json:"sim_time"`
+	Points  []Point   `json:"metrics"`
+}
+
+// Snapshot captures every metric at the given simulated instant.
+func (r *Registry) Snapshot(simTime time.Time) Snapshot {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	s := Snapshot{SimTime: simTime.UTC()}
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			s.Points = append(s.Points, Point{
+				Name: e.fullName(), Kind: "counter", Help: e.help,
+				Value: int64(e.counter.Value()),
+			})
+		case kindGauge:
+			s.Points = append(s.Points, Point{
+				Name: e.fullName(), Kind: "gauge", Help: e.help,
+				Value: e.gauge.Value(),
+			})
+		case kindHistogram:
+			h := e.hist
+			p := Point{Name: e.fullName(), Kind: "histogram", Help: e.help}
+			var cum uint64
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = strconv.FormatUint(h.bounds[i], 10)
+				}
+				p.Buckets = append(p.Buckets, Bucket{LE: le, Count: cum})
+			}
+			p.Value = int64(cum)
+			p.Sum = h.Sum()
+			s.Points = append(s.Points, p)
+		case kindCounterVec:
+			// Lock order: the vec mutex guards children; take it via the
+			// registry's vec handle.
+			r.mu.Lock()
+			v := r.vecs[e.fullName()]
+			r.mu.Unlock()
+			v.mu.Lock()
+			vals := make([]string, 0, len(e.children))
+			for lv := range e.children {
+				vals = append(vals, lv)
+			}
+			sort.Strings(vals)
+			for _, lv := range vals {
+				s.Points = append(s.Points, Point{
+					Name: e.fullName(), Kind: "counter", Help: e.help,
+					Label: e.labelKey, LabelValue: lv,
+					Value: int64(e.children[lv].Value()),
+				})
+			}
+			v.mu.Unlock()
+		}
+	}
+	sort.Slice(s.Points, func(i, j int) bool {
+		if s.Points[i].Name != s.Points[j].Name {
+			return s.Points[i].Name < s.Points[j].Name
+		}
+		return s.Points[i].LabelValue < s.Points[j].LabelValue
+	})
+	return s
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// simEpoch mirrors the simulator's fixed start instant.
+var simEpoch = time.Date(2024, 3, 1, 9, 0, 0, 0, time.UTC)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("netsim", "frames_total", "frames switched")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	if again := r.Counter("netsim", "frames_total", "frames switched"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("fleet", "homes", "planned homes")
+	g.Set(50)
+	g.Add(-8)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge value = %d, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("netsim", "frame_bytes", "frame sizes", []uint64{64, 512, 1500})
+	for _, v := range []uint64{10, 64, 65, 512, 1500, 9000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 10+64+65+512+1500+9000 {
+		t.Fatalf("sum = %d", got)
+	}
+	snap := r.Snapshot(simEpoch)
+	if len(snap.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(snap.Points))
+	}
+	p := snap.Points[0]
+	want := []Bucket{{"64", 2}, {"512", 4}, {"1500", 5}, {"+Inf", 6}}
+	if len(p.Buckets) != len(want) {
+		t.Fatalf("buckets = %v", p.Buckets)
+	}
+	for i, b := range want {
+		if p.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, p.Buckets[i], b)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cloud", "queries_total", "DNS queries by type", "type")
+	v.With("A").Add(3)
+	v.With("AAAA").Add(7)
+	if v.With("A") != v.With("A") {
+		t.Fatal("With returned different children for the same label")
+	}
+	snap := r.Snapshot(simEpoch)
+	if len(snap.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(snap.Points))
+	}
+	// Sorted by label value: A before AAAA.
+	if snap.Points[0].LabelValue != "A" || snap.Points[0].Value != 3 {
+		t.Fatalf("point 0 = %+v", snap.Points[0])
+	}
+	if snap.Points[1].LabelValue != "AAAA" || snap.Points[1].Value != 7 {
+		t.Fatalf("point 1 = %+v", snap.Points[1])
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "b", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("a", "b", "")
+}
+
+// TestConcurrentAdditionsCommute is the determinism contract in
+// miniature: the same additions distributed over any number of
+// goroutines produce the same snapshot bytes.
+func TestConcurrentAdditionsCommute(t *testing.T) {
+	build := func(workers int) []byte {
+		r := NewRegistry()
+		c := r.Counter("s", "n_total", "")
+		h := r.Histogram("s", "sizes", "", []uint64{100, 1000})
+		var wg sync.WaitGroup
+		per := 1200 / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					c.Inc()
+					h.Observe(uint64((w*per + i) % 1500))
+				}
+			}(w)
+		}
+		wg.Wait()
+		blob, err := r.Snapshot(simEpoch).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial := build(1)
+	for _, workers := range []int{2, 6} {
+		if got := build(workers); !bytes.Equal(got, serial) {
+			t.Fatalf("snapshot with %d workers differs from serial:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+	s.Emit(Event{Scope: "experiment", ID: "v4-only", Detail: "ok", Elapsed: 3 * time.Second})
+	s.Emit(Event{Scope: "fleet", ID: "home 2/5", Elapsed: time.Second})
+	want := "[experiment] v4-only: ok (sim 3s)\n[fleet] home 2/5 (sim 1s)\n"
+	if buf.String() != want {
+		t.Fatalf("sink output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestFuncSinkAndNilEmit(t *testing.T) {
+	var got []Event
+	Emit(FuncSink(func(ev Event) { got = append(got, ev) }), Event{ID: "x"})
+	Emit(nil, Event{ID: "dropped"}) // must not panic
+	if len(got) != 1 || got[0].ID != "x" {
+		t.Fatalf("events = %+v", got)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z", "last", "")
+	r.Counter("a", "first", "")
+	r.Gauge("m", "middle", "")
+	snap := r.Snapshot(simEpoch)
+	var names []string
+	for _, p := range snap.Points {
+		names = append(names, p.Name)
+	}
+	if strings.Join(names, ",") != "a_first,m_middle,z_last" {
+		t.Fatalf("snapshot order = %v", names)
+	}
+}

@@ -18,6 +18,7 @@
 package v6lab
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"v6lab/internal/firewall"
 	"v6lab/internal/fleet"
 	"v6lab/internal/report"
+	"v6lab/internal/telemetry"
 )
 
 // Artifact names one of the paper's tables or figures.
@@ -90,6 +92,8 @@ type options struct {
 	maxFrames   int
 	fault       *faults.Profile
 	workers     int
+	telemetry   *telemetry.Registry
+	progress    telemetry.Sink
 }
 
 // Option configures New.
@@ -135,6 +139,27 @@ func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// WithTelemetry instruments every subsystem the lab touches — the L2
+// switch, router, firewall, conntrack, devices, cloud, and the
+// experiment/fleet orchestration — into the given registry. Metrics are
+// timestamped off the simulated clock and every update is an atomic
+// addition, so the snapshot a run produces is byte-identical for any
+// worker count (see TelemetrySnapshot). A nil registry (the default)
+// runs fully uninstrumented and keeps the recorded byte-identity of
+// uninstrumented releases.
+func WithTelemetry(r *telemetry.Registry) Option {
+	return func(o *options) { o.telemetry = r }
+}
+
+// WithProgress streams one event per completed unit of work — a Table 2
+// experiment, a fleet home, a firewall policy, a resilience profile — to
+// the sink. Events carry elapsed simulated time and arrive in completion
+// order, which under parallel engines depends on scheduling: the stream
+// is a live view, deliberately excluded from the deterministic snapshot.
+func WithProgress(sink telemetry.Sink) Option {
+	return func(o *options) { o.progress = sink }
+}
+
 // Lab is the top-level handle: a configured study plus, after Run, the
 // analyzed dataset.
 type Lab struct {
@@ -151,6 +176,9 @@ type Lab struct {
 	Resil *experiment.ResilienceReport
 
 	opts options
+	// ctx is the context of the RunContext call currently executing;
+	// parts read it through runCtx. Nil outside Run/RunContext.
+	ctx context.Context
 }
 
 // New builds the testbed (devices, workload plans, simulated cloud).
@@ -184,7 +212,18 @@ func (l *Lab) studyOptions() experiment.StudyOptions {
 		Devices:         l.opts.devices,
 		MaxFramesPerRun: l.opts.maxFrames,
 		Workers:         l.opts.workers,
+		Telemetry:       l.opts.telemetry,
+		Progress:        l.opts.progress,
 	}
+}
+
+// runCtx is the context parts run under: RunContext's argument, or
+// context.Background() for plain Run.
+func (l *Lab) runCtx() context.Context {
+	if l.ctx != nil {
+		return l.ctx
+	}
+	return context.Background()
 }
 
 // resolveDevices maps names onto registry profiles, preserving registry
@@ -221,7 +260,7 @@ type RunPart func(*Lab) error
 // captures. Run() with no parts is equivalent to Run(Connectivity()).
 func Connectivity() RunPart {
 	return func(l *Lab) error {
-		if err := l.Study.RunAll(); err != nil {
+		if err := l.Study.RunAllContext(l.runCtx()); err != nil {
 			return err
 		}
 		l.Data = analysis.FromStudy(l.Study)
@@ -269,10 +308,18 @@ func Fleet(n int) RunPart {
 	return FleetWith(fleet.Config{Homes: n})
 }
 
-// FleetWith is Fleet with full control over the population.
+// FleetWith is Fleet with full control over the population. A config
+// without its own Telemetry or Progress inherits the lab's
+// WithTelemetry/WithProgress settings.
 func FleetWith(cfg fleet.Config) RunPart {
 	return func(l *Lab) error {
-		pop, err := fleet.Run(cfg)
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = l.opts.telemetry
+		}
+		if cfg.Progress == nil {
+			cfg.Progress = l.opts.progress
+		}
+		pop, err := fleet.RunContext(l.runCtx(), cfg)
 		if err != nil {
 			return err
 		}
@@ -298,7 +345,7 @@ func Resilience(profiles ...faults.Profile) RunPart {
 			}
 			seeded[i] = p
 		}
-		rep, err := experiment.RunResilience(l.studyOptions(), seeded...)
+		rep, err := experiment.RunResilienceContext(l.runCtx(), l.studyOptions(), seeded...)
 		if err != nil {
 			return err
 		}
@@ -312,10 +359,26 @@ func Resilience(profiles ...faults.Profile) RunPart {
 // queries, and the port scans, then the analysis pipeline over the
 // captures.
 func (l *Lab) Run(parts ...RunPart) error {
+	return l.RunContext(context.Background(), parts...)
+}
+
+// RunContext is Run under a context. Cancellation is checked between
+// parts and, inside each part, between experiments, fleet homes, and
+// resilience profiles; a cancelled run returns ctx.Err() and leaves no
+// partially-populated result on the lab — Data, FleetPop, FirewallCmp,
+// and Resil each stay nil (or keep their previous value) unless their
+// part completed.
+func (l *Lab) RunContext(ctx context.Context, parts ...RunPart) error {
 	if len(parts) == 0 {
 		parts = []RunPart{Connectivity()}
 	}
+	prev := l.ctx
+	l.ctx = ctx
+	defer func() { l.ctx = prev }()
 	for _, part := range parts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := part(l); err != nil {
 			return err
 		}
@@ -365,7 +428,8 @@ func (l *Lab) Report(a Artifact) string {
 // ReportErr renders one artifact as text, returning an error wrapping
 // ErrUnknownArtifact for names outside Artifacts. The name check comes
 // first, so an unknown artifact errors (rather than panics) even on a lab
-// that has not run yet.
+// that has not run yet. Rendering itself is a thin pass over the typed
+// Results view (see renderArtifact).
 func (l *Lab) ReportErr(a Artifact) (string, error) {
 	known := false
 	for _, k := range Artifacts {
@@ -377,72 +441,7 @@ func (l *Lab) ReportErr(a Artifact) (string, error) {
 	if !known {
 		return "", fmt.Errorf("%w %q", ErrUnknownArtifact, a)
 	}
-	// The fleet and resilience artifacts derive from their own runs, not
-	// from the single-home dataset, so they render without Run.
-	switch a {
-	case FleetStudy:
-		if l.FleetPop == nil {
-			return "Fleet population study: not run (pass -fleet N or call Lab.RunFleet)\n", nil
-		}
-		return report.Fleet(l.FleetPop), nil
-	case ResilienceStudy:
-		if l.Resil == nil {
-			return "Resilience impairment grid: not run (pass -resilience or call Lab.Run(v6lab.Resilience()))\n", nil
-		}
-		return report.Resilience(l.Resil), nil
-	}
-	l.ensure()
-	ds := l.Data
-	switch a {
-	case Table3:
-		return report.Table3(ds.Table3()), nil
-	case Figure2:
-		return report.Figure2(ds.Table3()), nil
-	case Table4:
-		return report.Table4(ds.Table4()), nil
-	case Table5:
-		return report.Table5(ds.Table5()), nil
-	case Table6:
-		return report.Table6(ds.Table6()), nil
-	case Table7:
-		f, n, mf, mn := ds.Table7(3)
-		return report.Table7(f, n, mf, mn), nil
-	case Table8:
-		out := report.Groups("Table 8 — feature support by manufacturer (>=3 devices)", ds.GroupBy("manufacturer", 3))
-		return out + report.Groups("Table 8 (cont.) — by OS (>=2 devices)", ds.GroupBy("os", 2)), nil
-	case Table9:
-		return report.Table9(ds.Table9()), nil
-	case Table10:
-		return report.Table10(ds), nil
-	case Table12:
-		return report.Groups("Table 12 — feature support by purchase year", ds.GroupBy("year", 1)), nil
-	case Table13:
-		return report.Table13(ds.GroupBy("manufacturer", 3)), nil
-	case Figure3:
-		return report.Figure3(ds.Figure3()), nil
-	case Figure4:
-		return report.Figure4(ds.Figure4()), nil
-	case Figure5:
-		return report.Figure5(ds.EUI64Exposure()), nil
-	case DADAudit:
-		return report.DAD(ds.DADAudit()), nil
-	case Ports:
-		return report.PortScan(l.Study.Scan), nil
-	case Tracking:
-		return report.Tracking(ds.Tracking()), nil
-	case Firewall:
-		if l.FirewallCmp == nil {
-			return "Firewall policy comparison: not run (pass -firewall=compare or a policy name)\n", nil
-		}
-		return report.FirewallExposure(l.FirewallCmp), nil
-	case FuncMatrix:
-		var names []string
-		for _, p := range ds.Profiles {
-			names = append(names, p.Name)
-		}
-		return report.FunctionalMatrix(ds.Exps, names), nil
-	}
-	return "", fmt.Errorf("%w %q", ErrUnknownArtifact, a)
+	return renderArtifact(l.resultsView(), a)
 }
 
 // FullReport renders every artifact.
