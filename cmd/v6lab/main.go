@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -206,6 +207,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			data = snap.Prometheus()
 		} else {
 			data, err = snap.JSON()
+		}
+		// The snapshot path may point into a directory that does not exist
+		// yet (e.g. out/run-3/metrics.json on a fresh checkout).
+		if err == nil {
+			if dir := filepath.Dir(*metricsPath); dir != "." {
+				err = os.MkdirAll(dir, 0o755)
+			}
 		}
 		if err == nil {
 			err = os.WriteFile(*metricsPath, data, 0o644)

@@ -146,6 +146,23 @@ func TestMetricsAndProgressOnFleetPath(t *testing.T) {
 	}
 }
 
+// TestMetricsCreatesParentDirs: -metrics pointing into a directory that
+// does not exist yet creates it instead of failing the export.
+func TestMetricsCreatesParentDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out", "run-1", "metrics.json")
+	code, _, stderr := runCmd("-fleet", "2", "-artifact", "fleet", "-metrics", path)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics file not written under a fresh directory: %v", err)
+	}
+	if !strings.Contains(string(data), `"sim_time"`) {
+		t.Errorf("metrics snapshot missing the sim_time header:\n%s", data)
+	}
+}
+
 // TestMetricsPrometheusFormat: a .prom suffix selects the text format,
 // on the resilience-only early return.
 func TestMetricsPrometheusFormat(t *testing.T) {

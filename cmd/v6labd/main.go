@@ -1,0 +1,126 @@
+// Command v6labd is the long-lived multi-tenant study server: an
+// HTTP/JSON API that accepts study, firewall-comparison, fleet, and
+// resilience job specs, runs them on a shared bounded worker pool, and
+// serves identical requests instantly from a deterministic result cache
+// keyed by (seed, options-hash).
+//
+// Usage:
+//
+//	v6labd [-addr :8080] [-workers 0] [-queue 64] [-cache 64]
+//	       [-drain 30s] [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/jobs                       submit a job spec, returns {id, cached}
+//	GET  /v1/jobs/{id}                  job status + artifact names
+//	GET  /v1/jobs/{id}/events           live progress (SSE line stream)
+//	GET  /v1/jobs/{id}/artifacts/{name} fullreport, per-config pcaps, CSV, telemetry
+//	GET  /metrics                       Prometheus text (server-level counters)
+//	GET  /healthz                       liveness
+//
+// SIGINT/SIGTERM drains gracefully: in-flight jobs finish (up to -drain),
+// queued jobs are cancelled, and no partial artifacts leak.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"v6lab/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// run is the testable entry point. ready, when non-nil, receives the
+// bound listen address once the server is accepting connections; stop,
+// when non-nil, triggers the same graceful drain as SIGINT/SIGTERM.
+// It returns the process exit code (0 ok, 1 runtime failure, 2 usage
+// error).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("v6labd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "job worker-pool size; 0 = GOMAXPROCS")
+	queue := fs.Int("queue", 64, "max queued jobs before submissions are rejected with 503")
+	cacheN := fs.Int("cache", 64, "result-cache capacity, in completed studies")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight jobs")
+	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "v6labd: unknown argument %q (the command takes no subcommands)\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+	if *workers < 0 || *queue < 1 || *cacheN < 1 || *drain <= 0 {
+		fmt.Fprintln(stderr, "v6labd: -workers wants >= 0, -queue and -cache >= 1, -drain > 0")
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "v6labd:", err)
+		return 1
+	}
+
+	var logw io.Writer
+	if !*quiet {
+		logw = stderr
+	}
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheN,
+		Log:          logw,
+	})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	fmt.Fprintf(stderr, "v6labd listening on %s (workers %d, queue %d, cache %d)\n",
+		ln.Addr(), *workers, *queue, *cacheN)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCtx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSig()
+	if stop == nil {
+		stop = make(chan struct{}) // never fires; signals drive shutdown
+	}
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "v6labd:", err)
+		return 1
+	case <-sigCtx.Done():
+		fmt.Fprintln(stderr, "v6labd: signal received, draining...")
+	case <-stop:
+		fmt.Fprintln(stderr, "v6labd: stop requested, draining...")
+	}
+
+	// Drain jobs first — the API stays up so clients can watch their
+	// in-flight jobs finish — then close the listener.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "v6labd: drain deadline exceeded, in-flight jobs cancelled (%v)\n", err)
+	} else {
+		fmt.Fprintln(stderr, "v6labd: drained cleanly")
+	}
+	closeCtx, cancelClose := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelClose()
+	httpSrv.Shutdown(closeCtx)
+	return 0
+}

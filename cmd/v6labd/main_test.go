@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw, nil, nil); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestPositionalArgRejected(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"serve"}, &out, &errw, nil, nil); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown argument") {
+		t.Errorf("stderr missing diagnosis: %q", errw.String())
+	}
+}
+
+func TestInvalidSizesRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "-1"},
+		{"-queue", "0"},
+		{"-cache", "0"},
+		{"-drain", "0s"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw, nil, nil); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestUnlistenableAddrFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", "203.0.113.1:1"}, &out, &errw, nil, nil); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", 0, errw.String())
+	}
+}
+
+// TestServeSubmitDrain is the end-to-end path: boot on an ephemeral
+// port, submit a job over real HTTP, resubmit it for a cache hit, then
+// stop and assert a clean drain.
+func TestServeSubmitDrain(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	var out, errw syncBuffer
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain", "30s"}, &out, &errw, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	spec := `{"kind":"study","devices":["Wyze Cam","Apple TV"]}`
+	id := submitAndWait(t, base, spec)
+	dup := postJSON(t, base+"/v1/jobs", spec)
+	if dup["cached"] != true {
+		t.Errorf("resubmission not cached: %v", dup)
+	}
+	if id == "" {
+		t.Fatal("no job id")
+	}
+
+	close(stop)
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("run exited %d; stderr:\n%s", c, errw.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not stop")
+	}
+	if !strings.Contains(errw.String(), "drained cleanly") {
+		t.Errorf("stderr missing clean-drain note:\n%s", errw.String())
+	}
+}
+
+func submitAndWait(t *testing.T, base, spec string) string {
+	t.Helper()
+	sub := postJSON(t, base+"/v1/jobs", spec)
+	id, _ := sub["id"].(string)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st["state"] {
+		case "done":
+			return id
+		case "failed", "cancelled":
+			t.Fatalf("job %s ended %v: %v", id, st["state"], st["error"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return ""
+}
+
+func postJSON(t *testing.T, url, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST %s = %d: %s", url, resp.StatusCode, blob)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// syncBuffer guards a bytes.Buffer: the server goroutine writes logs
+// while the test reads them.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchSeed hands out globally unique seeds so cold-cache iterations
+// never collide across b.N escalations or sub-benchmarks.
+var benchSeed atomic.Uint64
+
+func init() { benchSeed.Store(1 << 20) }
+
+// BenchmarkServerThroughput measures end-to-end studies/sec through the
+// HTTP API at 1, 4, and 16 concurrent tenants, cold cache (every request
+// a unique seed, so every request runs the study) versus warm cache
+// (every request identical, so every request is a hit). ns/op is the
+// wall time per completed study; the warm/cold ratio is the caching
+// payoff recorded in BENCH_study.json.
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, tenants := range []int{1, 4, 16} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("tenants=%d/%s", tenants, mode), func(b *testing.B) {
+				benchThroughput(b, tenants, mode == "warm")
+			})
+		}
+	}
+}
+
+func benchThroughput(b *testing.B, tenants int, warm bool) {
+	s := New(Config{
+		Workers:      runtime.GOMAXPROCS(0),
+		QueueDepth:   2 * tenants,
+		CacheEntries: 1024,
+		JobHistory:   2 * (b.N + tenants + 4),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	warmSpec := fmt.Sprintf(`{"kind":"study","seed":%d,"devices":["Wyze Cam","Apple TV"]}`, benchSeed.Add(1))
+	if warm {
+		// Prime the cache once, outside the timer: every measured
+		// request is then a hit.
+		if err := benchOneJob(ts.URL, warmSpec); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	errs := make(chan error, tenants)
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if next.Add(1) > int64(b.N) {
+					return
+				}
+				spec := warmSpec
+				if !warm {
+					spec = fmt.Sprintf(`{"kind":"study","seed":%d,"devices":["Wyze Cam","Apple TV"]}`, benchSeed.Add(1))
+				}
+				if err := benchOneJob(ts.URL, spec); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+}
+
+// benchOneJob submits a spec and waits for a terminal state, polling
+// status for queued/running jobs; cache hits return done immediately.
+func benchOneJob(base, spec string) error {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	var sub SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if sub.ID == "" {
+		return fmt.Errorf("submission rejected (state %q)", sub.State)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if sub.State == StateDone {
+			return nil
+		}
+		switch sub.State {
+		case StateFailed, StateCancelled:
+			return fmt.Errorf("job %s ended %s", sub.ID, sub.State)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s did not finish in time", sub.ID)
+		}
+		time.Sleep(2 * time.Millisecond)
+		st, err := benchStatus(base, sub.ID)
+		if err != nil {
+			return err
+		}
+		sub.State = st.State
+	}
+}
+
+func benchStatus(base, id string) (JobStatus, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return st, nil
+}

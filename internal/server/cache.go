@@ -1,0 +1,104 @@
+package server
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+)
+
+// Result is one completed job's output: the canonical spec it ran and the
+// named artifact bytes (fullreport, per-config pcaps, CSV series, the
+// telemetry snapshot). Results are immutable once stored — cache hits
+// serve the same byte slices a fresh run produced.
+type Result struct {
+	// Spec is the canonical spec the result was computed for.
+	Spec JobSpec
+	// Artifacts maps artifact name to bytes, e.g. "fullreport",
+	// "dualstack.pcap", "funnel.csv", "telemetry.prom".
+	Artifacts map[string][]byte
+}
+
+// Size returns the total artifact bytes, for observability.
+func (r *Result) Size() int {
+	n := 0
+	for _, b := range r.Artifacts {
+		n += len(b)
+	}
+	return n
+}
+
+// Names returns the artifact names in sorted order.
+func (r *Result) Names() []string {
+	names := make([]string, 0, len(r.Artifacts))
+	for n := range r.Artifacts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resultCache is a mutex-guarded LRU of completed results keyed by
+// (seed, options-hash). Entry count, not byte size, bounds it: a study
+// result is a few MB dominated by pcaps, and the operator sizes the
+// cache in studies, not bytes.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[Key]*list.Element
+}
+
+type cacheEntry struct {
+	key Key
+	res *Result
+}
+
+// newResultCache builds an LRU holding up to max results (min 1).
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *resultCache) Get(key Key) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes it; determinism
+// guarantees the bytes are the same either way.
+func (c *resultCache) Put(key Key, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

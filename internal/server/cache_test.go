@@ -1,0 +1,69 @@
+package server
+
+import "testing"
+
+func key(seed uint64, hash string) Key { return Key{Seed: seed, Hash: hash} }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.Put(key(1, "a"), &Result{})
+	c.Put(key(1, "b"), &Result{})
+	// Touch "a" so "b" is the least recently used.
+	if _, ok := c.Get(key(1, "a")); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put(key(1, "c"), &Result{})
+	if _, ok := c.Get(key(1, "b")); ok {
+		t.Error("b survived eviction; LRU order not honored")
+	}
+	for _, k := range []Key{key(1, "a"), key(1, "c")} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%v missing after eviction of b", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := newResultCache(2)
+	first := &Result{Artifacts: map[string][]byte{"fullreport": []byte("one")}}
+	c.Put(key(1, "a"), first)
+	c.Put(key(1, "b"), &Result{})
+	// Re-putting "a" must refresh recency, not grow the cache.
+	second := &Result{Artifacts: map[string][]byte{"fullreport": []byte("one")}}
+	c.Put(key(1, "a"), second)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after refresh, want 2", c.Len())
+	}
+	c.Put(key(1, "c"), &Result{})
+	if _, ok := c.Get(key(1, "a")); !ok {
+		t.Error("refreshed entry was evicted before the older one")
+	}
+	if got, _ := c.Get(key(1, "a")); got != second {
+		t.Error("refresh did not replace the stored result")
+	}
+}
+
+func TestCacheSeedSplitsEntries(t *testing.T) {
+	c := newResultCache(4)
+	c.Put(key(1, "a"), &Result{})
+	if _, ok := c.Get(key(2, "a")); ok {
+		t.Error("same hash under a different seed must miss")
+	}
+}
+
+func TestResultNamesSorted(t *testing.T) {
+	r := &Result{Artifacts: map[string][]byte{"z.pcap": nil, "fullreport": nil, "a.csv": nil}}
+	names := r.Names()
+	want := []string{"a.csv", "fullreport", "z.pcap"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	if r.Size() != 0 {
+		t.Errorf("Size() of empty artifacts = %d", r.Size())
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"sync"
+
+	"v6lab/internal/telemetry"
+)
+
+// broadcaster fans a job's progress events out to any number of SSE
+// subscribers. Events are buffered for the job's lifetime so a
+// subscriber that attaches late replays the full history first — the
+// stream a client sees is always complete, just possibly time-shifted.
+//
+// It implements telemetry.Sink, so it plugs straight into
+// v6lab.WithProgress and receives one event per completed experiment,
+// fleet home, firewall policy, and resilience profile.
+type broadcaster struct {
+	mu      sync.Mutex
+	history []telemetry.Event
+	subs    map[chan telemetry.Event]struct{}
+	closed  bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan telemetry.Event]struct{})}
+}
+
+// Emit records the event and forwards it to every live subscriber.
+// Subscriber channels are buffered; a subscriber that stops draining
+// loses events rather than blocking the worker that runs the job.
+func (b *broadcaster) Emit(ev telemetry.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.history = append(b.history, ev)
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Close marks the stream complete: subscribers' channels are closed after
+// the last event, and future Subscribe calls replay history and report
+// done immediately.
+func (b *broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+		delete(b.subs, ch)
+	}
+}
+
+// Subscribe returns the events emitted so far and, when the stream is
+// still live, a channel carrying the rest (closed when the job finishes).
+// done is true when the stream has already completed: the replay is the
+// whole story and ch is nil.
+func (b *broadcaster) Subscribe() (replay []telemetry.Event, ch chan telemetry.Event, done bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay = append([]telemetry.Event(nil), b.history...)
+	if b.closed {
+		return replay, nil, true
+	}
+	ch = make(chan telemetry.Event, 256)
+	b.subs[ch] = struct{}{}
+	return replay, ch, false
+}
+
+// Unsubscribe detaches a live subscriber (a no-op after Close).
+func (b *broadcaster) Unsubscribe(ch chan telemetry.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[ch]; ok {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"v6lab/internal/device"
+)
+
+// goldenStudyHash is the recorded options hash of the canonical default
+// study spec ({"kind":"study"}). It is deliberately hardcoded: any change
+// to JobSpec's hashed fields, their canonicalization, or the hashedSpec
+// layout changes every hash, silently splitting the result cache across
+// deployments — this test makes that failure loud instead.
+const goldenStudyHash = "9095ed66d37b0cc42c18aab6f79f33e83516986b718a0d25cc5297efc528da7d"
+
+func TestOptionsHashGolden(t *testing.T) {
+	got := JobSpec{Kind: KindStudy}.OptionsHash()
+	if got != goldenStudyHash {
+		t.Errorf("default study options hash changed:\n got %s\nwant %s\n"+
+			"If the spec layout changed intentionally, update the golden hash — and "+
+			"know that every deployed cache key just changed with it.", got, goldenStudyHash)
+	}
+}
+
+// TestCanonicalJSONRoundTrip: a canonical spec survives a JSON
+// round-trip unchanged — encode, decode, re-canonicalize, same struct
+// and same hash.
+func TestCanonicalJSONRoundTrip(t *testing.T) {
+	specs := []JobSpec{
+		{Kind: KindStudy},
+		{Kind: KindStudy, Seed: 7, Devices: []string{"Apple TV", "Wyze Cam"}, Fault: "lossy-wifi"},
+		{Kind: KindFirewall, Policies: []string{"deny", "open"}},
+		{Kind: KindFleet, FleetHomes: 20, FleetSeed: 3, Workers: 8},
+		{Kind: KindResilience, Seed: 9, MaxFramesPerRun: 500},
+	}
+	for _, spec := range specs {
+		c := spec.Canonicalize()
+		blob, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back JobSpec
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if got := back.Canonicalize(); !reflect.DeepEqual(got, c) {
+			t.Errorf("canonical spec changed across a JSON round-trip:\nbefore %+v\nafter  %+v", c, got)
+		}
+		if got, want := back.CacheKey(), spec.CacheKey(); got != want {
+			t.Errorf("cache key changed across a JSON round-trip: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestOptionsHashFieldOrderIndependence: the same experiment described
+// with different JSON field order and different device order hashes
+// identically.
+func TestOptionsHashFieldOrderIndependence(t *testing.T) {
+	docs := []string{
+		`{"kind":"study","seed":5,"devices":["Wyze Cam","Apple TV"],"fault":"lossy-wifi"}`,
+		`{"fault":"lossy-wifi","devices":["Apple TV","Wyze Cam"],"seed":5,"kind":"study"}`,
+	}
+	var keys []Key
+	for _, doc := range docs {
+		var spec JobSpec
+		if err := json.Unmarshal([]byte(doc), &spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, spec.CacheKey())
+	}
+	if keys[0] != keys[1] {
+		t.Errorf("field/device order split the cache key: %v vs %v", keys[0], keys[1])
+	}
+}
+
+// TestWorkersExcludedFromHash: worker count changes wall time, never
+// bytes, so it must not split the cache.
+func TestWorkersExcludedFromHash(t *testing.T) {
+	a := JobSpec{Kind: KindStudy, Workers: 0}.CacheKey()
+	b := JobSpec{Kind: KindStudy, Workers: 8}.CacheKey()
+	if a != b {
+		t.Errorf("workers split the cache key: %v vs %v", a, b)
+	}
+}
+
+// TestSeedSplitsKeyNotHash: the seed is the explicit first half of the
+// key, not part of the options hash.
+func TestSeedSplitsKeyNotHash(t *testing.T) {
+	a := JobSpec{Kind: KindResilience, Seed: 1}.CacheKey()
+	b := JobSpec{Kind: KindResilience, Seed: 2}.CacheKey()
+	if a.Hash != b.Hash {
+		t.Errorf("seed leaked into the options hash: %s vs %s", a.Hash, b.Hash)
+	}
+	if a == b {
+		t.Error("different seeds produced the same cache key")
+	}
+}
+
+func TestCanonicalizeDefaults(t *testing.T) {
+	c := JobSpec{Kind: " Study "}.Canonicalize()
+	if c.Kind != KindStudy || c.Seed != 1 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	// A clean fault profile is the same run as no profile at all.
+	if got := (JobSpec{Kind: KindStudy, Fault: "clean"}).CacheKey(); got != (JobSpec{Kind: KindStudy}).CacheKey() {
+		t.Error("fault=clean split the cache key from the no-fault spec")
+	}
+	// Policy aliases fold onto one spelling, and the empty list expands
+	// to the three defaults in report order.
+	alias := JobSpec{Kind: KindFirewall, Policies: []string{"open", "deny", "pinhole"}}.CacheKey()
+	expanded := JobSpec{Kind: KindFirewall}.CacheKey()
+	if alias != expanded {
+		t.Errorf("policy alias/expansion split the cache key: %v vs %v", alias, expanded)
+	}
+	// Policy *order* is report order, so it must stay significant.
+	reordered := JobSpec{Kind: KindFirewall, Policies: []string{"pinhole", "stateful", "open"}}.CacheKey()
+	if reordered == expanded {
+		t.Error("policy order must change the key (it changes report bytes)")
+	}
+	// Fleet seeds default only for fleet jobs.
+	if c := (JobSpec{Kind: KindFleet, FleetHomes: 5}).Canonicalize(); c.FleetSeed != 1 {
+		t.Errorf("fleet seed default not applied: %+v", c)
+	}
+}
+
+func TestCanonicalDevicesRegistryOrderAndDedup(t *testing.T) {
+	reg := device.Registry()
+	// A permutation with a duplicate canonicalizes to registry order,
+	// deduplicated.
+	names := []string{reg[3].Name, reg[0].Name, reg[3].Name}
+	got := canonicalDevices(names)
+	want := []string{reg[0].Name, reg[3].Name}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("canonicalDevices(%v) = %v, want %v", names, got, want)
+	}
+	// Listing the whole registry is the default testbed: nil.
+	var all []string
+	for _, p := range reg {
+		all = append(all, p.Name)
+	}
+	if got := canonicalDevices(all); got != nil {
+		t.Errorf("full-registry device list should canonicalize to nil, got %d names", len(got))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		spec JobSpec
+		want string
+	}{
+		{JobSpec{Kind: "espresso"}, "unknown kind"},
+		{JobSpec{Kind: KindStudy, Devices: []string{"Quantum Toaster"}}, "unknown device"},
+		{JobSpec{Kind: KindStudy, Fault: "solar-flare"}, "unknown profile"},
+		{JobSpec{Kind: KindStudy, Policies: []string{"open"}}, "policies only apply"},
+		{JobSpec{Kind: KindFirewall, Policies: []string{"moat"}}, "unknown policy"},
+		{JobSpec{Kind: KindFleet}, "fleet_homes > 0"},
+		{JobSpec{Kind: KindStudy, FleetHomes: 5}, "only apply to kind"},
+		{JobSpec{Kind: KindStudy, MaxFramesPerRun: -1}, "non-negative"},
+		{JobSpec{Kind: KindStudy, Workers: -2}, "non-negative"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error containing %q", c.spec, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %q, want it to contain %q", c.spec, err, c.want)
+		}
+	}
+	valid := []JobSpec{
+		{Kind: KindStudy},
+		{Kind: KindFirewall, Policies: []string{"stateful-default-deny"}},
+		{Kind: KindFleet, FleetHomes: 10, FleetSeed: 2},
+		{Kind: KindResilience, Fault: "clamped-tunnel"},
+	}
+	for _, spec := range valid {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", spec, err)
+		}
+	}
+}

@@ -386,27 +386,6 @@ func (l *Lab) RunContext(ctx context.Context, parts ...RunPart) error {
 	return nil
 }
 
-// RunFirewallComparison runs the firewall policy comparison.
-//
-// Deprecated: use Run(FirewallComparison(policyNames...)).
-func (l *Lab) RunFirewallComparison(policyNames ...string) error {
-	return l.Run(FirewallComparison(policyNames...))
-}
-
-// RunFleet simulates a population of n homes.
-//
-// Deprecated: use Run(Fleet(n)).
-func (l *Lab) RunFleet(n int) error {
-	return l.Run(Fleet(n))
-}
-
-// RunFleetWith is RunFleet with full control over the population.
-//
-// Deprecated: use Run(FleetWith(cfg)).
-func (l *Lab) RunFleetWith(cfg fleet.Config) error {
-	return l.Run(FleetWith(cfg))
-}
-
 // ensure panics helpfully when Report is called before Run.
 func (l *Lab) ensure() {
 	if l.Data == nil {

@@ -118,35 +118,30 @@ func b2(t *testing.T, run func() string) string {
 	return run()
 }
 
-// TestDeprecatedWrappersDelegate: the pre-options entry points still work
-// and produce the same state as their Run(...) equivalents.
-func TestDeprecatedWrappersDelegate(t *testing.T) {
-	old := New(WithDevices("Wyze Cam"))
-	if err := old.Run(); err != nil {
+// TestRunPartsAccumulateAndReproduce: a single Run(...) with several
+// parts fills every corresponding result field, and a second lab running
+// the same parts renders byte-identical artifacts.
+func TestRunPartsAccumulateAndReproduce(t *testing.T) {
+	a := New(WithDevices("Wyze Cam"))
+	if err := a.Run(Connectivity(), FirewallComparison("stateful"), Fleet(2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := old.RunFirewallComparison("stateful"); err != nil {
-		t.Fatal(err)
+	if a.FirewallCmp == nil {
+		t.Fatal("Run(FirewallComparison(...)) left FirewallCmp nil")
 	}
-	if old.FirewallCmp == nil {
-		t.Fatal("RunFirewallComparison left FirewallCmp nil")
-	}
-	if err := old.RunFleet(2); err != nil {
-		t.Fatal(err)
-	}
-	if old.FleetPop == nil {
-		t.Fatal("RunFleet left FleetPop nil")
+	if a.FleetPop == nil {
+		t.Fatal("Run(Fleet(...)) left FleetPop nil")
 	}
 
-	new_ := New(WithDevices("Wyze Cam"))
-	if err := new_.Run(Connectivity(), FirewallComparison("stateful"), Fleet(2)); err != nil {
+	b := New(WithDevices("Wyze Cam"))
+	if err := b.Run(Connectivity(), FirewallComparison("stateful"), Fleet(2)); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := old.Report(Firewall), new_.Report(Firewall); got != want {
-		t.Errorf("wrapper and Run(...) firewall artifacts differ:\n%s\nvs\n%s", got, want)
+	if got, want := a.Report(Firewall), b.Report(Firewall); got != want {
+		t.Errorf("repeat runs produced different firewall artifacts:\n%s\nvs\n%s", got, want)
 	}
-	if got, want := old.Report(FleetStudy), new_.Report(FleetStudy); got != want {
-		t.Errorf("wrapper and Run(...) fleet artifacts differ")
+	if got, want := a.Report(FleetStudy), b.Report(FleetStudy); got != want {
+		t.Errorf("repeat runs produced different fleet artifacts")
 	}
 }
 
