@@ -5,6 +5,7 @@
 //
 //	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare]
 //	      [-fleet 100 -workers 8 -fleet-seed 1] [-resilience] [-fault lossy-wifi]
+//	      [-adversary 200 -campaign-seed 3]
 //	      [-seed 1] [-parallel 6] [-metrics metrics.json] [-progress]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-list]
 //
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"v6lab"
+	"v6lab/internal/adversary"
 	"v6lab/internal/device"
 	"v6lab/internal/faults"
 	"v6lab/internal/fleet"
@@ -53,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fleetN := fs.Int("fleet", 0, "simulate a population of N independent homes and render the fleet artifact")
 	workers := fs.Int("workers", 0, "fleet worker-pool size; 0 = GOMAXPROCS (aggregates are identical for any value)")
 	fleetSeed := fs.Uint64("fleet-seed", 1, "fleet population seed; identical seeds reproduce the population exactly")
+	adversaryN := fs.Int("adversary", 0, "attack a population of N homes: address discovery, campaign sweep, worm propagation; renders the adversary artifact")
+	campaignSeed := fs.Uint64("campaign-seed", 1, "adversary campaign seed; identical seeds reproduce the attack exactly")
 	resilience := fs.Bool("resilience", false, "re-run the connectivity grid under the impairment profiles and render the resilience artifact")
 	faultName := fs.String("fault", "", "run the whole lab under one impairment profile: clean|lossy-wifi|clamped-tunnel|flaky-dnsmasq")
 	seed := fs.Uint64("seed", 1, "impairment seed for -fault and -resilience; identical seeds reproduce runs byte-for-byte")
@@ -104,8 +108,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "v6lab: -fleet wants a positive home count, got %d\n", *fleetN)
 		return 2
 	}
-	if (*workers != 0 || *fleetSeed != 1) && *fleetN == 0 {
-		fmt.Fprintln(stderr, "v6lab: -workers and -fleet-seed only apply together with -fleet N")
+	if (*workers != 0 || *fleetSeed != 1) && *fleetN == 0 && *adversaryN == 0 {
+		fmt.Fprintln(stderr, "v6lab: -workers and -fleet-seed only apply together with -fleet N or -adversary N")
+		return 2
+	}
+	if *adversaryN < 0 {
+		fmt.Fprintf(stderr, "v6lab: -adversary wants a positive home count, got %d\n", *adversaryN)
+		return 2
+	}
+	if *campaignSeed != 1 && *adversaryN == 0 {
+		fmt.Fprintln(stderr, "v6lab: -campaign-seed only applies together with -adversary N")
 		return 2
 	}
 
@@ -234,11 +246,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		// The fleet artifact needs no single-home study: render and exit.
-		if *artifact == string(v6lab.FleetStudy) && *pcapDir == "" && *csvDir == "" && *fwPolicy == "" && !*resilience {
+		if *artifact == string(v6lab.FleetStudy) && *pcapDir == "" && *csvDir == "" && *fwPolicy == "" && !*resilience && *adversaryN == 0 {
 			if code := writeMetrics(); code != 0 {
 				return code
 			}
 			return render(lab, v6lab.FleetStudy, stdout, stderr)
+		}
+	}
+
+	if *adversaryN > 0 {
+		fmt.Fprintf(stderr, "attacking a fleet of %d homes (fleet seed %d, campaign seed %d, workers %d)...\n",
+			*adversaryN, *fleetSeed, *campaignSeed, *workers)
+		err := lab.Run(v6lab.AdversaryWith(adversary.Config{
+			Fleet:        fleet.Config{Homes: *adversaryN, Workers: *workers, Seed: *fleetSeed},
+			CampaignSeed: *campaignSeed,
+		}))
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		// Like the fleet artifact, the attack needs no single-home study:
+		// with nothing else requested, render it and exit.
+		if (*artifact == "" || *artifact == string(v6lab.AdversaryStudy)) &&
+			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 && !*resilience {
+			if code := writeMetrics(); code != 0 {
+				return code
+			}
+			return render(lab, v6lab.AdversaryStudy, stdout, stderr)
 		}
 	}
 
@@ -251,7 +285,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Like the fleet artifact, the grid needs no single-home study:
 		// with nothing else requested, render it and exit.
 		if (*artifact == "" || *artifact == string(v6lab.ResilienceStudy)) &&
-			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 {
+			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 && *adversaryN == 0 {
 			if code := writeMetrics(); code != 0 {
 				return code
 			}

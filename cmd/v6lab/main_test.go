@@ -84,10 +84,43 @@ func TestListIncludesEveryArtifact(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, want := range []string{"table3", "fleet", "firewall", "resilience"} {
+	for _, want := range []string{"table3", "fleet", "firewall", "resilience", "adversary"} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("-list missing %q:\n%s", want, stdout)
 		}
+	}
+}
+
+func TestNegativeAdversaryRejected(t *testing.T) {
+	if code, _, _ := runCmd("-adversary", "-5"); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestCampaignSeedWithoutAdversaryRejected(t *testing.T) {
+	code, _, stderr := runCmd("-campaign-seed", "7")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-campaign-seed only applies") {
+		t.Errorf("stderr missing diagnosis: %q", stderr)
+	}
+}
+
+// TestAdversaryFlag runs the attack end to end on a small population:
+// the command exits 0 and prints only the adversary report.
+func TestAdversaryFlag(t *testing.T) {
+	code, stdout, stderr := runCmd("-adversary", "6", "-campaign-seed", "3", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"Adversary — 6 homes", "campaign seed 3", "Address discovery", "Worm propagation"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("adversary report missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "Table 3") {
+		t.Errorf("-adversary alone must not render the connectivity artifacts")
 	}
 }
 

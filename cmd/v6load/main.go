@@ -10,7 +10,8 @@
 //
 //	v6load -addr localhost:8080 [-tenants 4] [-requests 8] [-dup 50]
 //	       [-kind study] [-devices "Wyze Cam,Apple TV"] [-fault lossy-wifi]
-//	       [-fleet-homes 0] [-load-seed 1] [-verify] [-expect-cache-hits -1]
+//	       [-fleet-homes 0] [-campaign-seed 0] [-load-seed 1] [-verify]
+//	       [-expect-cache-hits -1]
 //
 // The duplicate ratio is a percentage: -dup 50 makes roughly half the
 // requests reuse one shared spec (eligible for the result cache), the
@@ -74,10 +75,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tenants := fs.Int("tenants", 1, "concurrent tenants")
 	requests := fs.Int("requests", 1, "requests per tenant")
 	dup := fs.Int("dup", 0, "percentage of requests reusing the shared base spec (0-100)")
-	kind := fs.String("kind", "study", "job kind: study|firewall-comparison|fleet|resilience")
+	kind := fs.String("kind", "study", "job kind: study|firewall-comparison|fleet|resilience|adversary")
 	devices := fs.String("devices", "", "comma-separated device names for the spec (empty = full registry)")
 	fault := fs.String("fault", "", "impairment profile for the spec")
-	fleetHomes := fs.Int("fleet-homes", 0, "population size for fleet jobs")
+	fleetHomes := fs.Int("fleet-homes", 0, "population size for fleet and adversary jobs")
+	campaignSeed := fs.Uint64("campaign-seed", 0, "campaign seed for adversary jobs (0 = omit; the server defaults it to 1)")
 	loadSeed := fs.Uint64("load-seed", 1, "derives the per-tenant request streams; identical seeds reproduce the run")
 	pollEvery := fs.Duration("poll", 5*time.Millisecond, "status poll interval")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-job completion deadline")
@@ -121,6 +123,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *fleetHomes > 0 {
 			spec["fleet_homes"] = *fleetHomes
+		}
+		if *campaignSeed > 0 {
+			spec["campaign_seed"] = *campaignSeed
 		}
 		blob, err := json.Marshal(spec)
 		if err != nil {

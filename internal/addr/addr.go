@@ -108,6 +108,59 @@ func EUI64MatchesMAC(a netip.Addr, mac packet.MAC) bool {
 	return ok && got == mac
 }
 
+// IIDClass buckets interface identifiers by hitlist predictability: the
+// attacker's view of the address space (the "Unconsidered Installations"
+// taxonomy). EUI-64 identifiers expand from small vendor MAC blocks,
+// low-byte identifiers from a counting sweep; random identifiers are
+// 2^64-sparse and only discoverable through leaks.
+type IIDClass int
+
+// The identifier classes a v6 hitlist generator distinguishes.
+const (
+	// IIDRandom is an RFC 8981 / RFC 7217-style identifier: no structure
+	// a generator can exploit.
+	IIDRandom IIDClass = iota
+	// IIDEUI64 carries the ff:fe signature, so the identifier space
+	// collapses to the 48-bit MAC space — and in practice to the few
+	// dense OUI blocks IoT vendors ship.
+	IIDEUI64
+	// IIDLowByte is a structured value in the low 24 bits (router
+	// addresses, sequential DHCPv6 leases in small conventional pools):
+	// found by sweeping prefix::1..prefix::N and the pool offsets.
+	IIDLowByte
+)
+
+// String names the class as the discovery reports do.
+func (c IIDClass) String() string {
+	switch c {
+	case IIDEUI64:
+		return "eui64"
+	case IIDLowByte:
+		return "low-byte"
+	}
+	return "random"
+}
+
+// ClassifyIID buckets an interface identifier. EUI-64 wins over low-byte:
+// an identifier with the ff:fe signature expands from MAC space even when
+// its OUI bytes are zero.
+func ClassifyIID(iid [8]byte) IIDClass {
+	if iid[3] == 0xff && iid[4] == 0xfe {
+		return IIDEUI64
+	}
+	if iid[0] == 0 && iid[1] == 0 && iid[2] == 0 && iid[3] == 0 && iid[4] == 0 {
+		return IIDLowByte
+	}
+	return IIDRandom
+}
+
+// LowByteIID builds the n-th identifier of the pool at the given base
+// byte: base 0 is the classic prefix::n sweep; nonzero bases cover the
+// conventional CPE DHCPv6 pool offsets (prefix::base:n).
+func LowByteIID(base byte, n uint16) [8]byte {
+	return [8]byte{0, 0, 0, 0, 0, base, byte(n >> 8), byte(n)}
+}
+
 // FromPrefixIID composes an address from a /64 prefix and an interface
 // identifier.
 func FromPrefixIID(prefix netip.Prefix, iid [8]byte) netip.Addr {

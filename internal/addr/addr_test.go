@@ -167,3 +167,79 @@ func TestFromPrefixIIDPanicsOnLongPrefix(t *testing.T) {
 	}()
 	FromPrefixIID(netip.MustParsePrefix("2001:db8::/96"), [8]byte{})
 }
+
+func TestClassifyIID(t *testing.T) {
+	mac := packet.MAC{0x00, 0x17, 0x88, 0x10, 0x20, 0x01}
+	cases := []struct {
+		name string
+		iid  [8]byte
+		want IIDClass
+	}{
+		{"eui64", EUI64FromMAC(mac), IIDEUI64},
+		{"low-byte-1", LowByteIID(0, 1), IIDLowByte},
+		{"low-byte-513", LowByteIID(0, 513), IIDLowByte},
+		{"dhcp-pool-lease", LowByteIID(0x10, 7), IIDLowByte},
+		{"zero", [8]byte{}, IIDLowByte},
+		{"eui64-zero-oui", [8]byte{0, 0, 0, 0xff, 0xfe, 0, 0, 7}, IIDEUI64},
+		{"random", [8]byte{0x1c, 0x9a, 0x44, 0x02, 0x77, 0xe1, 0x03, 0x5b}, IIDRandom},
+		{"high-bytes-set", [8]byte{0, 0, 0, 0x10, 0, 0, 0, 1}, IIDRandom},
+	}
+	for _, c := range cases {
+		if got := ClassifyIID(c.iid); got != c.want {
+			t.Errorf("%s: ClassifyIID(%x) = %v, want %v", c.name, c.iid, got, c.want)
+		}
+	}
+}
+
+func TestIIDClassString(t *testing.T) {
+	for c, want := range map[IIDClass]string{
+		IIDRandom: "random", IIDEUI64: "eui64", IIDLowByte: "low-byte",
+	} {
+		if c.String() != want {
+			t.Errorf("IIDClass(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// The discovery engine's core assumption: EUI-64 and low-byte addresses
+// are hitlist-predictable (an attacker regenerates them from the MAC or a
+// counting sweep), while RFC 8981 privacy identifiers never land in a
+// predictable class.
+func TestHitlistPredictability(t *testing.T) {
+	prefix := netip.MustParsePrefix("2001:470:8:100::/64")
+	mac := packet.MAC{0x00, 0x17, 0x88, 0x33, 0x44, 0x55}
+
+	// EUI-64: the attacker reconstructs the exact address from the MAC.
+	slaac := EUI64Addr(prefix, mac)
+	if ClassifyIID(InterfaceID(slaac)) != IIDEUI64 {
+		t.Fatalf("SLAAC address %v not classified eui64", slaac)
+	}
+	if guess := EUI64Addr(prefix, mac); guess != slaac {
+		t.Fatalf("EUI-64 regeneration mismatch: %v != %v", guess, slaac)
+	}
+
+	// Low-byte: a DHCPv6-lease-style address falls to a prefix::N sweep.
+	lease := FromPrefixIID(prefix, LowByteIID(0x10, 7))
+	if ClassifyIID(InterfaceID(lease)) != IIDLowByte {
+		t.Fatalf("lease address %v not classified low-byte", lease)
+	}
+	found := false
+	for n := uint16(1); n <= 256; n++ {
+		if FromPrefixIID(prefix, LowByteIID(0x10, n)) == lease {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("low-byte sweep missed the lease address")
+	}
+
+	// Privacy: randomized identifiers never classify as predictable.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		iid := RandomIID(rng)
+		if c := ClassifyIID(iid); c != IIDRandom {
+			t.Fatalf("RandomIID produced predictable class %v: %x", c, iid)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package adversary
+
+import "v6lab/internal/telemetry"
+
+// foldMetrics publishes the run's counters. It runs once, on the single
+// deterministic path after every worker pool has drained, so snapshots
+// are byte-identical at any worker count.
+func foldMetrics(r *telemetry.Registry, rep *Report) {
+	r.Counter("adversary", "candidates_total",
+		"Hitlist candidates generated across the population.").Add(uint64(rep.Discovery.Candidates))
+	hits := r.CounterVec("adversary", "hitlist_hits_total",
+		"Discovered addresses by candidate source.", "source")
+	hits.With(SourceEUI64.String()).Add(uint64(rep.Discovery.FoundEUI64))
+	hits.With(SourceLowByte.String()).Add(uint64(rep.Discovery.FoundLowByte))
+	hits.With(SourceLeak.String()).Add(uint64(rep.Discovery.FoundLeak))
+	r.Counter("adversary", "addrs_missed_total",
+		"Ground-truth addresses discovery never found.").Add(uint64(rep.Discovery.Missed))
+	r.Counter("adversary", "campaign_probes_total",
+		"SYN probes the campaign injected at home WAN ports.").Add(uint64(rep.Campaign.ProbesSent))
+	r.Counter("adversary", "campaign_reachable_devices_total",
+		"Devices inbound-reachable through their home firewall.").Add(uint64(rep.Campaign.DevicesReachable))
+	r.Counter("adversary", "worm_probes_total",
+		"Probes the worm spent across all ticks.").Add(uint64(rep.Worm.ProbesSent))
+	r.Counter("adversary", "worm_compromised_total",
+		"Devices the worm compromised.").Add(uint64(rep.Worm.Compromised))
+}

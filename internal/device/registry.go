@@ -1,5 +1,10 @@
 package device
 
+import (
+	"bytes"
+	"sort"
+)
+
 // This file transcribes the paper's device inventory (Table 10) and
 // enriches each entry with the extended behaviour flags behind Tables 4-9
 // and Figures 3-5. Flag assignments follow the paper's per-category and
@@ -28,6 +33,29 @@ func Registry() []*Profile {
 		ps[i] = &p
 	}
 	return ps
+}
+
+// VendorOUIs returns the distinct MAC OUI blocks present in the device
+// registry, sorted. This is the "vendor MAC database" a hitlist generator
+// works from: the same macFor derivation the stacks use, so the list can
+// never drift from the simulated hardware. The paper notes the OUI alone
+// leaks vendor identity (§5.4.1); here it also collapses the EUI-64
+// search space to |OUIs|×2^24 — and with the registry's fixed 0x10,0x20
+// device-index suffix convention, to |OUIs|×256 candidates per prefix.
+func VendorOUIs() [][3]byte {
+	seen := map[[3]byte]bool{}
+	for i := range registry {
+		m := macFor(&registry[i], 0)
+		seen[[3]byte{m[0], m[1], m[2]}] = true
+	}
+	out := make([][3]byte, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
+	return out
 }
 
 // Find returns the profile with the given name from a registry slice, or

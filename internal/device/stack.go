@@ -250,6 +250,23 @@ func (s *Stack) privacyGUA() netip.Addr {
 	return netip.Addr{}
 }
 
+// GlobalAddrs returns a copy of every global unicast address the stack
+// currently holds — SLAAC GUAs in assignment order plus the stateful
+// DHCPv6 lease when the device actually uses it. This is the ground truth
+// the adversary subsystem scores its hitlists against.
+func (s *Stack) GlobalAddrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(s.guas)+1)
+	out = append(out, s.guas...)
+	if s.statefulAddr.IsValid() && s.Prof.UsesStatefulAddr {
+		out = append(out, s.statefulAddr)
+	}
+	return out
+}
+
+// PreferredSourceGUA returns the address the device uses as source for
+// ordinary outbound traffic (the one a tracker-side observer sees).
+func (s *Stack) PreferredSourceGUA() netip.Addr { return s.privacyGUA() }
+
 // SeedDHCP4Transactions sets the DHCPv4 transaction counter as if the
 // stack had already booted n times with IPv4 enabled. The parallel study
 // engine uses it to give each isolated per-experiment environment (and

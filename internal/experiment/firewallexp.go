@@ -12,6 +12,7 @@ import (
 	"v6lab/internal/netsim"
 	"v6lab/internal/packet"
 	"v6lab/internal/router"
+	"v6lab/internal/scan"
 	"v6lab/internal/telemetry"
 )
 
@@ -136,7 +137,11 @@ func (st *Study) RunFirewallExposureUnder(cfg Config, policies []firewall.Policy
 	return rep, nil
 }
 
-func (st *Study) runExposure(cfg Config, pol firewall.Policy, ports []uint16) (*PolicyExposure, error) {
+// bootFirewalled builds a fresh network around the study's stacks with
+// pol installed on the router's inbound-IPv6 path, then runs the full
+// boot + announce + workload sequence so conntrack holds the devices'
+// outbound flows — the state every WAN-vantage scan must traverse.
+func (st *Study) bootFirewalled(cfg Config, pol firewall.Policy) (*netsim.Network, *router.Router, *firewall.Firewall, error) {
 	net := netsim.NewNetwork(st.Clock)
 	if st.tm != nil {
 		net.SetMetrics(st.tm.net)
@@ -154,18 +159,26 @@ func (st *Study) runExposure(cfg Config, pol firewall.Policy, ports []uint16) (*
 		s.Boot()
 	}
 	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	for _, s := range st.Stacks {
 		s.Announce()
 	}
 	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	for _, s := range st.Stacks {
 		s.RunWorkload(st.Cloud)
 	}
 	if _, err := net.Run(st.MaxFramesPerRun); err != nil {
+		return nil, nil, nil, err
+	}
+	return net, rt, fw, nil
+}
+
+func (st *Study) runExposure(cfg Config, pol firewall.Policy, ports []uint16) (*PolicyExposure, error) {
+	net, rt, fw, err := st.bootFirewalled(cfg, pol)
+	if err != nil {
 		return nil, err
 	}
 
@@ -209,28 +222,20 @@ func (st *Study) runExposure(cfg Config, pol firewall.Policy, ports []uint16) (*
 	// The WAN tap plays the scanner: it consumes packets addressed to the
 	// vantage and records SYN-ACKs as open (device, port) findings.
 	open := map[string]map[uint16]bool{}
-	rt.WANv6Tap = func(raw []byte) bool {
-		rp := packet.ParseIP(raw)
-		if rp.Err != nil || rp.IPv6 == nil || rp.IPv6.Dst != WANScannerV6 {
-			return false
-		}
-		if rp.TCP != nil && rp.TCP.HasFlag(packet.TCPFlagSYN|packet.TCPFlagACK) {
-			if dev := addrDev[rp.IPv6.Src]; dev != "" {
-				if open[dev] == nil {
-					open[dev] = map[uint16]bool{}
-				}
-				open[dev][rp.TCP.SrcPort] = true
+	col := &scan.Collector{Vantage: WANScannerV6, OnSYNACK: func(src netip.Addr, port uint16) {
+		if dev := addrDev[src]; dev != "" {
+			if open[dev] == nil {
+				open[dev] = map[uint16]bool{}
 			}
+			open[dev][port] = true
 		}
-		return true // scanner traffic never reaches the simulated cloud
-	}
+	}}
+	rt.WANv6Tap = col.Tap
 	defer func() { rt.WANv6Tap = nil }()
 
 	for _, tgt := range targets {
 		for i, dport := range ports {
-			raw, err := packet.Serialize(
-				&packet.IPv6{NextHeader: packet.IPProtocolTCP, HopLimit: 64, Src: WANScannerV6, Dst: tgt.addr},
-				&packet.TCP{SrcPort: uint16(40000 + i), DstPort: dport, Seq: 9, Flags: packet.TCPFlagSYN, Src: WANScannerV6, Dst: tgt.addr})
+			raw, err := scan.BuildSYNv6(WANScannerV6, tgt.addr, uint16(40000+i), dport, 9)
 			if err != nil {
 				return nil, err
 			}

@@ -15,6 +15,20 @@ type ConfigAgg struct {
 	Devices, NDP, Addr, GUA, AAAAReq, InternetV6, Functional int
 }
 
+// PolicyPrevalence accumulates household-level prevalence over every home
+// assigned one firewall policy — all homes, not just those with an
+// exposure run, so the breakdown covers the whole population.
+type PolicyPrevalence struct {
+	Policy string
+	Homes  int
+	// HomesBricked counts homes with >=1 non-functional device;
+	// HomesAllOK its complement.
+	HomesBricked, HomesAllOK int
+	// HomesDADSkip / HomesEUI64 count homes with >=1 device skipping DAD
+	// or exposing an EUI-64 GUA.
+	HomesDADSkip, HomesEUI64 int
+}
+
 // PolicyAgg accumulates inbound-exposure outcomes over every v6-enabled
 // home running one firewall policy.
 type PolicyAgg struct {
@@ -22,17 +36,20 @@ type PolicyAgg struct {
 	Homes  int
 	// HomesExposed counts homes where at least one device answered a
 	// WAN-vantage probe.
-	HomesExposed int
+	HomesExposed                                    int
 	DevicesProbed, DevicesReachable, PortsReachable int
 }
 
 // Aggregate is the population-level summary of a fleet run.
 type Aggregate struct {
-	Homes, Devices     int
-	SizeMin, SizeMax   int
-	FramesCaptured     int
-	ByConfig           []ConfigAgg // in Table 2 execution order
-	ByPolicy           []PolicyAgg // v6-enabled homes only, by policy name
+	Homes, Devices   int
+	SizeMin, SizeMax int
+	FramesCaptured   int
+	ByConfig         []ConfigAgg // in Table 2 execution order
+	ByPolicy         []PolicyAgg // v6-enabled homes only, by policy name
+	// PrevalenceByPolicy breaks the population prevalence down by the
+	// firewall policy each home was assigned, sorted by policy name.
+	PrevalenceByPolicy []PolicyPrevalence
 	// Functionality prevalence.
 	DeviceFunctional int
 	HomesAllOK       int // every device functional
@@ -51,6 +68,7 @@ func (p *Population) Aggregate() Aggregate {
 	a := Aggregate{Homes: len(p.Homes)}
 	byConfig := map[string]*ConfigAgg{}
 	byPolicy := map[string]*PolicyAgg{}
+	prevByPolicy := map[string]*PolicyPrevalence{}
 	for _, hr := range p.Homes {
 		a.Devices += hr.Devices
 		a.FramesCaptured += hr.FramesCaptured
@@ -75,20 +93,31 @@ func (p *Population) Aggregate() Aggregate {
 		ca.InternetV6 += hr.InternetV6
 		ca.Functional += hr.Functional
 
+		pp := prevByPolicy[hr.Spec.Policy]
+		if pp == nil {
+			pp = &PolicyPrevalence{Policy: hr.Spec.Policy}
+			prevByPolicy[hr.Spec.Policy] = pp
+		}
+		pp.Homes++
+
 		a.DeviceFunctional += hr.Functional
 		if hr.Functional == hr.Devices {
 			a.HomesAllOK++
+			pp.HomesAllOK++
 		} else {
 			a.HomesBricked++
+			pp.HomesBricked++
 		}
 		a.DADSkipDevices += hr.DADSkipping
 		a.DADNeverDevices += hr.DADNever
 		if hr.DADSkipping > 0 {
 			a.HomesDADSkip++
+			pp.HomesDADSkip++
 		}
 		a.EUI64UseDevices += hr.EUI64Use
 		if hr.EUI64Use > 0 {
 			a.HomesEUI64++
+			pp.HomesEUI64++
 		}
 
 		if hr.Exposure != nil {
@@ -118,6 +147,14 @@ func (p *Population) Aggregate() Aggregate {
 	sort.Strings(names)
 	for _, name := range names {
 		a.ByPolicy = append(a.ByPolicy, *byPolicy[name])
+	}
+	names = names[:0]
+	for name := range prevByPolicy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a.PrevalenceByPolicy = append(a.PrevalenceByPolicy, *prevByPolicy[name])
 	}
 	return a
 }

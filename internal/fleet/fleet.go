@@ -263,6 +263,11 @@ type HomeResult struct {
 	// Exposure holds the WAN-vantage inbound scan under the home's
 	// policy; nil for IPv4-only homes or when the scan is skipped.
 	Exposure *experiment.PolicyExposure
+
+	// Inventory is the home's ground-truth address inventory, snapshotted
+	// right after the connectivity run. The adversary subsystem scores
+	// its hitlists against it and harvests its Leaked records as seeds.
+	Inventory *HomeInventory
 }
 
 // runHome builds and runs one fully self-contained home.
@@ -316,6 +321,7 @@ func runHome(cfg Config, spec HomeSpec) (*HomeResult, error) {
 			hr.InternetV6++
 		}
 	}
+	hr.Inventory = collectInventory(spec, st, obs, ec.Router.IPv6)
 	dad := ds.DADAudit()
 	hr.DADSkipping = dad.DevicesSkipping
 	hr.DADNever = dad.DevicesNeverDAD

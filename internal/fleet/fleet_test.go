@@ -139,6 +139,29 @@ func TestRunAggregateSums(t *testing.T) {
 	if policyHomes > a.Homes {
 		t.Fatalf("ByPolicy homes sum to %d > %d homes", policyHomes, a.Homes)
 	}
+	// The per-policy prevalence covers every home exactly once, and its
+	// columns fold back to the population totals.
+	var prevHomes, prevBricked, prevAllOK, prevDADSkip, prevEUI64 int
+	for _, pp := range a.PrevalenceByPolicy {
+		prevHomes += pp.Homes
+		prevBricked += pp.HomesBricked
+		prevAllOK += pp.HomesAllOK
+		prevDADSkip += pp.HomesDADSkip
+		prevEUI64 += pp.HomesEUI64
+		if pp.HomesBricked+pp.HomesAllOK != pp.Homes {
+			t.Fatalf("policy %q: bricked %d + all-ok %d != homes %d",
+				pp.Policy, pp.HomesBricked, pp.HomesAllOK, pp.Homes)
+		}
+	}
+	if prevHomes != a.Homes {
+		t.Fatalf("PrevalenceByPolicy homes sum to %d, want %d", prevHomes, a.Homes)
+	}
+	if prevBricked != a.HomesBricked || prevAllOK != a.HomesAllOK ||
+		prevDADSkip != a.HomesDADSkip || prevEUI64 != a.HomesEUI64 {
+		t.Fatalf("per-policy prevalence sums (%d/%d/%d/%d) disagree with population totals (%d/%d/%d/%d)",
+			prevBricked, prevAllOK, prevDADSkip, prevEUI64,
+			a.HomesBricked, a.HomesAllOK, a.HomesDADSkip, a.HomesEUI64)
+	}
 }
 
 // TestRunWorkerCountInvariance: the same fleet on 1 worker and on 4

@@ -49,6 +49,17 @@ func Fleet(p *fleet.Population) string {
 	fmt.Fprintf(&w, "  homes exposing EUI-64 GUAs           %4d  (%.1f%%), %d devices\n",
 		a.HomesEUI64, pctH(a.HomesEUI64), a.EUI64UseDevices)
 
+	if len(a.PrevalenceByPolicy) > 0 {
+		fmt.Fprintf(&w, "\nPrevalence by firewall policy (all homes)\n")
+		fmt.Fprintf(&w, "%-10s %5s %7s %5s %8s %7s\n",
+			"Policy", "Homes", "Bricked", "AllOK", "DADSkip", "EUI64")
+		for _, pp := range a.PrevalenceByPolicy {
+			fmt.Fprintf(&w, "%-10s %5d %7d %5d %8d %7d\n",
+				pp.Policy, pp.Homes, pp.HomesBricked, pp.HomesAllOK,
+				pp.HomesDADSkip, pp.HomesEUI64)
+		}
+	}
+
 	if len(a.ByPolicy) > 0 {
 		fmt.Fprintf(&w, "\nInbound IPv6 exposure by firewall policy (WAN-vantage scan, v6-enabled homes)\n")
 		fmt.Fprintf(&w, "%-10s %5s %7s %7s %8s %9s %9s\n",

@@ -38,6 +38,7 @@ func TestFleetWorkerCountInvariance(t *testing.T) {
 		"100 simulated homes",
 		"Connectivity funnel by Table 2 config",
 		"Population prevalence",
+		"Prevalence by firewall policy",
 		"Inbound IPv6 exposure by firewall policy",
 	} {
 		if !strings.Contains(a, want) {
@@ -59,6 +60,9 @@ func TestFleetRenderSmall(t *testing.T) {
 	}
 	if !strings.Contains(out, "homes fully functional") {
 		t.Errorf("missing prevalence block:\n%s", out)
+	}
+	if !strings.Contains(out, "Prevalence by firewall policy") {
+		t.Errorf("missing per-policy prevalence block:\n%s", out)
 	}
 	if len(out) < 40 {
 		t.Errorf("report suspiciously short (%d bytes)", len(out))

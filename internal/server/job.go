@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"v6lab"
+	"v6lab/internal/adversary"
 	"v6lab/internal/faults"
 	"v6lab/internal/fleet"
 	"v6lab/internal/pcapio"
@@ -152,6 +153,16 @@ func runSpec(ctx context.Context, spec JobSpec, sink telemetry.Sink) (*Result, e
 		})}
 	case KindResilience:
 		parts = []v6lab.RunPart{v6lab.Resilience()}
+	case KindAdversary:
+		parts = []v6lab.RunPart{v6lab.AdversaryWith(adversary.Config{
+			Fleet: fleet.Config{
+				Homes:           spec.FleetHomes,
+				Seed:            spec.FleetSeed,
+				Workers:         spec.Workers,
+				MaxFramesPerRun: spec.MaxFramesPerRun,
+			},
+			CampaignSeed: spec.CampaignSeed,
+		})}
 	}
 	if err := lab.RunContext(ctx, parts...); err != nil {
 		return nil, err
@@ -186,6 +197,8 @@ func collectArtifacts(lab *v6lab.Lab, spec JobSpec) (*Result, error) {
 		arts["fullreport"] = []byte(lab.Report(v6lab.FleetStudy))
 	case KindResilience:
 		arts["fullreport"] = []byte(lab.Report(v6lab.ResilienceStudy))
+	case KindAdversary:
+		arts["fullreport"] = []byte(lab.Report(v6lab.AdversaryStudy))
 	}
 	if snap, ok := lab.TelemetrySnapshot(); ok {
 		arts["telemetry.prom"] = snap.Prometheus()

@@ -30,10 +30,11 @@ const (
 	KindFirewall   = "firewall-comparison" // connectivity + the WAN-vantage policy comparison
 	KindFleet      = "fleet"               // a population of independent homes
 	KindResilience = "resilience"          // the impairment-profile grid
+	KindAdversary  = "adversary"           // attacker's view of a fleet: discovery, campaign, worm
 )
 
 // Kinds lists the accepted job kinds.
-var Kinds = []string{KindStudy, KindFirewall, KindFleet, KindResilience}
+var Kinds = []string{KindStudy, KindFirewall, KindFleet, KindResilience, KindAdversary}
 
 // JobSpec is the wire format of one study request. The zero value of
 // every optional field selects the library default, so {"kind":"study"}
@@ -61,10 +62,13 @@ type JobSpec struct {
 	// firewall-comparison jobs; empty means all three. Order matters
 	// (it is report order), so canonicalization preserves it.
 	Policies []string `json:"policies,omitempty"`
-	// FleetHomes is the population size for fleet jobs.
+	// FleetHomes is the population size for fleet and adversary jobs.
 	FleetHomes int `json:"fleet_homes,omitempty"`
 	// FleetSeed derives the fleet population (0 means the default 1).
 	FleetSeed uint64 `json:"fleet_seed,omitempty"`
+	// CampaignSeed drives the adversary's probe ordering and worm draws
+	// (0 means the default 1). Adversary jobs only.
+	CampaignSeed uint64 `json:"campaign_seed,omitempty"`
 	// MaxFramesPerRun bounds each experiment's frame deliveries
 	// (0 keeps the library default).
 	MaxFramesPerRun int `json:"max_frames_per_run,omitempty"`
@@ -78,7 +82,7 @@ type JobSpec struct {
 // profiles, and policies. It does not mutate the spec; Canonicalize does.
 func (s JobSpec) Validate() error {
 	switch s.Kind {
-	case KindStudy, KindFirewall, KindFleet, KindResilience:
+	case KindStudy, KindFirewall, KindFleet, KindResilience, KindAdversary:
 	default:
 		return fmt.Errorf("unknown kind %q (want %s)", s.Kind, strings.Join(Kinds, "|"))
 	}
@@ -100,12 +104,15 @@ func (s JobSpec) Validate() error {
 			return err
 		}
 	}
-	if s.Kind == KindFleet {
+	if s.Kind == KindFleet || s.Kind == KindAdversary {
 		if s.FleetHomes <= 0 {
-			return fmt.Errorf("kind %q wants fleet_homes > 0, got %d", KindFleet, s.FleetHomes)
+			return fmt.Errorf("kind %q wants fleet_homes > 0, got %d", s.Kind, s.FleetHomes)
 		}
 	} else if s.FleetHomes != 0 || s.FleetSeed != 0 {
-		return fmt.Errorf("fleet_homes and fleet_seed only apply to kind %q", KindFleet)
+		return fmt.Errorf("fleet_homes and fleet_seed only apply to kinds %q and %q", KindFleet, KindAdversary)
+	}
+	if s.CampaignSeed != 0 && s.Kind != KindAdversary {
+		return fmt.Errorf("campaign_seed only applies to kind %q", KindAdversary)
 	}
 	if s.MaxFramesPerRun < 0 {
 		return fmt.Errorf("max_frames_per_run wants a non-negative bound, got %d", s.MaxFramesPerRun)
@@ -145,8 +152,11 @@ func (s JobSpec) Canonicalize() JobSpec {
 			c.Policies = norm
 		}
 	}
-	if c.Kind == KindFleet && c.FleetSeed == 0 {
+	if (c.Kind == KindFleet || c.Kind == KindAdversary) && c.FleetSeed == 0 {
 		c.FleetSeed = 1
+	}
+	if c.Kind == KindAdversary && c.CampaignSeed == 0 {
+		c.CampaignSeed = 1
 	}
 	return c
 }
@@ -211,6 +221,7 @@ type hashedSpec struct {
 	Policies        []string `json:"policies"`
 	FleetHomes      int      `json:"fleet_homes"`
 	FleetSeed       uint64   `json:"fleet_seed"`
+	CampaignSeed    uint64   `json:"campaign_seed"`
 	MaxFramesPerRun int      `json:"max_frames_per_run"`
 }
 
@@ -227,6 +238,7 @@ func (s JobSpec) OptionsHash() string {
 		Policies:        c.Policies,
 		FleetHomes:      c.FleetHomes,
 		FleetSeed:       c.FleetSeed,
+		CampaignSeed:    c.CampaignSeed,
 		MaxFramesPerRun: c.MaxFramesPerRun,
 	})
 	if err != nil {

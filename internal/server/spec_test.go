@@ -14,7 +14,7 @@ import (
 // to JobSpec's hashed fields, their canonicalization, or the hashedSpec
 // layout changes every hash, silently splitting the result cache across
 // deployments — this test makes that failure loud instead.
-const goldenStudyHash = "9095ed66d37b0cc42c18aab6f79f33e83516986b718a0d25cc5297efc528da7d"
+const goldenStudyHash = "2fab4f65de713cc18bafa3ed4d1edfc92c6e949a80df1780e6005264e1c43dc2"
 
 func TestOptionsHashGolden(t *testing.T) {
 	got := JobSpec{Kind: KindStudy}.OptionsHash()
@@ -35,6 +35,7 @@ func TestCanonicalJSONRoundTrip(t *testing.T) {
 		{Kind: KindFirewall, Policies: []string{"deny", "open"}},
 		{Kind: KindFleet, FleetHomes: 20, FleetSeed: 3, Workers: 8},
 		{Kind: KindResilience, Seed: 9, MaxFramesPerRun: 500},
+		{Kind: KindAdversary, FleetHomes: 12, CampaignSeed: 5},
 	}
 	for _, spec := range specs {
 		c := spec.Canonicalize()
@@ -127,6 +128,16 @@ func TestCanonicalizeDefaults(t *testing.T) {
 	if c := (JobSpec{Kind: KindFleet, FleetHomes: 5}).Canonicalize(); c.FleetSeed != 1 {
 		t.Errorf("fleet seed default not applied: %+v", c)
 	}
+	// Adversary jobs default both the fleet seed and the campaign seed.
+	if c := (JobSpec{Kind: KindAdversary, FleetHomes: 5}).Canonicalize(); c.FleetSeed != 1 || c.CampaignSeed != 1 {
+		t.Errorf("adversary seed defaults not applied: %+v", c)
+	}
+	// The campaign seed is output-affecting, so it must split the key.
+	s3 := JobSpec{Kind: KindAdversary, FleetHomes: 5, CampaignSeed: 3}.CacheKey()
+	s1 := JobSpec{Kind: KindAdversary, FleetHomes: 5}.CacheKey()
+	if s3 == s1 {
+		t.Error("campaign seed must change the cache key (it changes report bytes)")
+	}
 }
 
 func TestCanonicalDevicesRegistryOrderAndDedup(t *testing.T) {
@@ -163,6 +174,8 @@ func TestValidateRejects(t *testing.T) {
 		{JobSpec{Kind: KindStudy, FleetHomes: 5}, "only apply to kind"},
 		{JobSpec{Kind: KindStudy, MaxFramesPerRun: -1}, "non-negative"},
 		{JobSpec{Kind: KindStudy, Workers: -2}, "non-negative"},
+		{JobSpec{Kind: KindAdversary}, "fleet_homes > 0"},
+		{JobSpec{Kind: KindFleet, FleetHomes: 5, CampaignSeed: 2}, "campaign_seed only applies"},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()
@@ -179,6 +192,7 @@ func TestValidateRejects(t *testing.T) {
 		{Kind: KindFirewall, Policies: []string{"stateful-default-deny"}},
 		{Kind: KindFleet, FleetHomes: 10, FleetSeed: 2},
 		{Kind: KindResilience, Fault: "clamped-tunnel"},
+		{Kind: KindAdversary, FleetHomes: 8, CampaignSeed: 4},
 	}
 	for _, spec := range valid {
 		if err := spec.Validate(); err != nil {

@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"v6lab/internal/adversary"
 	"v6lab/internal/analysis"
 	"v6lab/internal/device"
 	"v6lab/internal/experiment"
@@ -71,13 +72,19 @@ const (
 	// deterministic impairment profiles (lossy Wi-Fi, a tunnel MTU clamp,
 	// flaky router services). Requires Run(Resilience(...)).
 	ResilienceStudy Artifact = "resilience"
+	// AdversaryStudy extends the paper to the attacker's view of a fleet:
+	// v6 address discovery (EUI-64 expansion, low-byte sweeps, leak
+	// harvesting) scored against ground truth, a campaign sweep through
+	// each home's firewall, and a worm-propagation time-to-compromise
+	// table per policy. Requires Run(Adversary(n)).
+	AdversaryStudy Artifact = "adversary"
 )
 
 // Artifacts lists every artifact in report order.
 var Artifacts = []Artifact{
 	Table3, Figure2, Table4, Table5, Table6, Figure3, Figure4, Table7,
 	Table8, Table9, Table10, Table12, Table13, Figure5, DADAudit, Ports, Tracking,
-	FuncMatrix, Firewall, FleetStudy, ResilienceStudy,
+	FuncMatrix, Firewall, FleetStudy, ResilienceStudy, AdversaryStudy,
 }
 
 // ErrUnknownArtifact is returned (wrapped) by ReportErr for artifact names
@@ -174,6 +181,9 @@ type Lab struct {
 	// Resil holds the impairment-grid results once Run(Resilience(...))
 	// has run.
 	Resil *experiment.ResilienceReport
+	// Adv holds the attacker's-view results once Run(Adversary(n)) has
+	// run.
+	Adv *adversary.Report
 
 	opts options
 	// ctx is the context of the RunContext call currently executing;
@@ -328,6 +338,35 @@ func FleetWith(cfg fleet.Config) RunPart {
 	}
 }
 
+// Adversary simulates an Internet-scale attacker against a population of
+// n homes built with the default fleet configuration: address discovery
+// against every home's /64, a campaign sweep through each home's firewall
+// policy, and worm propagation across the discovered population. Results
+// land in Adv and the AdversaryStudy artifact.
+func Adversary(n int) RunPart {
+	return AdversaryWith(adversary.Config{Fleet: fleet.Config{Homes: n}})
+}
+
+// AdversaryWith is Adversary with full control over the attack: fleet
+// shape, campaign seed, probe budget, worm parameters. A config without
+// its own Telemetry or Progress inherits the lab's settings.
+func AdversaryWith(cfg adversary.Config) RunPart {
+	return func(l *Lab) error {
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = l.opts.telemetry
+		}
+		if cfg.Progress == nil {
+			cfg.Progress = l.opts.progress
+		}
+		rep, err := adversary.RunContext(l.runCtx(), cfg)
+		if err != nil {
+			return err
+		}
+		l.Adv = rep
+		return nil
+	}
+}
+
 // Resilience re-runs the Table 2 grid under each impairment profile
 // (faults.Grid() — clean, lossy-wifi, clamped-tunnel, flaky-dnsmasq —
 // when none are given), building a fresh isolated study per profile from
@@ -428,9 +467,13 @@ func (l *Lab) FullReport() string {
 	l.ensure()
 	out := ""
 	for _, a := range Artifacts {
-		// The resilience grid is opt-in: when it has not run, FullReport
-		// stays byte-identical to reports from before the grid existed.
+		// The resilience grid and adversary study are opt-in: when they
+		// have not run, FullReport stays byte-identical to reports from
+		// before each existed.
 		if a == ResilienceStudy && l.Resil == nil {
+			continue
+		}
+		if a == AdversaryStudy && l.Adv == nil {
 			continue
 		}
 		out += l.Report(a) + "\n"

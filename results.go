@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"v6lab/internal/adversary"
 	"v6lab/internal/analysis"
 	"v6lab/internal/experiment"
 	"v6lab/internal/fleet"
@@ -31,6 +32,8 @@ type Results struct {
 	Fleet *fleet.Population
 	// Resilience holds the impairment grid from Resilience.
 	Resilience *experiment.ResilienceReport
+	// Adversary holds the attacker's-view results from Adversary.
+	Adversary *adversary.Report
 	// Telemetry is the deterministic metric snapshot, present when the
 	// lab was built WithTelemetry.
 	Telemetry *telemetry.Snapshot
@@ -45,6 +48,7 @@ func (l *Lab) resultsView() Results {
 		Firewall:   l.FirewallCmp,
 		Fleet:      l.FleetPop,
 		Resilience: l.Resil,
+		Adversary:  l.Adv,
 	}
 }
 
@@ -52,7 +56,7 @@ func (l *Lab) resultsView() Results {
 // ErrNotRun when no part has run yet.
 func (l *Lab) Results() (Results, error) {
 	r := l.resultsView()
-	if r.Data == nil && r.Firewall == nil && r.Fleet == nil && r.Resilience == nil {
+	if r.Data == nil && r.Firewall == nil && r.Fleet == nil && r.Resilience == nil && r.Adversary == nil {
 		return Results{}, ErrNotRun
 	}
 	if snap, ok := l.TelemetrySnapshot(); ok {
@@ -77,8 +81,9 @@ func (l *Lab) TelemetrySnapshot() (telemetry.Snapshot, bool) {
 // renderArtifact renders one artifact from the typed view. The caller
 // has already vetted the name against Artifacts.
 func renderArtifact(res Results, a Artifact) (string, error) {
-	// The fleet and resilience artifacts derive from their own runs, not
-	// from the single-home dataset, so they render without Run.
+	// The fleet, resilience, and adversary artifacts derive from their
+	// own runs, not from the single-home dataset, so they render without
+	// Run.
 	switch a {
 	case FleetStudy:
 		if res.Fleet == nil {
@@ -90,6 +95,11 @@ func renderArtifact(res Results, a Artifact) (string, error) {
 			return "Resilience impairment grid: not run (pass -resilience or call Lab.Run(v6lab.Resilience()))\n", nil
 		}
 		return report.Resilience(res.Resilience), nil
+	case AdversaryStudy:
+		if res.Adversary == nil {
+			return "Adversary study: not run (pass -adversary N or call Lab.Run(v6lab.Adversary(n)))\n", nil
+		}
+		return report.Adversary(res.Adversary), nil
 	}
 	if res.Data == nil {
 		panic("v6lab: call Run before Report")
