@@ -25,6 +25,12 @@ type Options struct {
 // Functional options (WithDevices, WithFaultProfile, ...) compose with the
 // ablations.
 func NewWithOptions(opts Options, extra ...Option) *Lab {
+	if opts.ForcePrivacyExtensions || opts.ForceDAD || opts.AAAAEverywhere {
+		// An active ablation mutates profiles, plans, and the cloud registry
+		// below — all world state. It must never touch a shared Env's world,
+		// so the lab builds a private one.
+		extra = append(extra, func(o *options) { o.env = nil })
+	}
 	l := New(extra...)
 	st := l.Study
 	for _, p := range st.Profiles {

@@ -60,15 +60,24 @@ func BenchmarkFullStudy(b *testing.B) {
 }
 
 // BenchmarkStudyParallel measures the full study on the parallel engine
-// at several worker counts. workers=1 is the serial engine; the ratio to
-// it is the wall-clock win, and allocs/op tracks the frame path (the
-// work per iteration is identical — and byte-identical — at every count).
+// at several worker counts, each over a shared Env with a warm environment
+// pool — the steady state a study server or fleet reaches after its first
+// run. workers=1 is the serial engine; the work per iteration is identical
+// — and byte-identical — at every count. The warm-up run before the timer
+// builds the pool's environments once, so the measured rows show what
+// pooling saves: allocs/op must not grow with the worker count.
 func BenchmarkStudyParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 6} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			env := NewEnv()
+			warm := New(WithEnv(env), WithWorkers(workers))
+			if err := warm.Run(); err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				lab := New(WithWorkers(workers))
+				lab := New(WithEnv(env), WithWorkers(workers))
 				if err := lab.Run(); err != nil {
 					b.Fatal(err)
 				}

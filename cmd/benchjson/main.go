@@ -9,11 +9,18 @@
 //	    go run ./cmd/benchjson -out BENCH_study.json
 //
 //	go run ./cmd/benchjson -in bench.txt -out BENCH_study.json \
-//	    -baseline BENCH_study.json -max-alloc-regress 20
+//	    -baseline BENCH_study.json -max-alloc-regress 20 \
+//	    -monotonic StudyParallel -max-ns-regress 50 -ns-gate '^StudyParallel/'
 //
-// Only allocs/op is compared against the baseline: it is the one metric
-// that is stable across machines (ns/op and MB/s depend on the host, so
-// they are recorded but never gated on).
+// allocs/op is the primary gated metric: it is the one metric that is
+// stable across machines. Two further gates are opt-in: -monotonic FAMILY
+// asserts allocs/op does not grow with the worker count across a family's
+// workers=N sub-benchmarks (within -monotonic-slack percent — worker
+// scheduling shuffles which environment warms up on which experiment, so
+// exact equality is noise), and -max-ns-regress gates ns/op against the
+// baseline for benchmarks matching -ns-gate. The ns gate needs a generous
+// percentage: wall clock depends on the host, so it catches only
+// order-of-magnitude scaling regressions, not percent-level drift.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +71,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the JSON result here (empty = stdout)")
 	baseline := fs.String("baseline", "", "compare allocs/op against this previously emitted JSON file")
 	maxRegress := fs.Float64("max-alloc-regress", 20, "fail when allocs/op regresses more than this percentage over the baseline")
+	monotonic := fs.String("monotonic", "", "assert allocs/op is non-increasing across this benchmark family's workers=N sub-benchmarks")
+	monoSlack := fs.Float64("monotonic-slack", 0.5, "percentage by which a higher worker count may exceed a lower one before -monotonic fails")
+	maxNsRegress := fs.Float64("max-ns-regress", 0, "when > 0, fail when ns/op regresses more than this percentage over the baseline for benchmarks matching -ns-gate")
+	nsGate := fs.String("ns-gate", "^StudyParallel/", "regexp selecting the benchmarks gated on ns/op (with -max-ns-regress)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -119,6 +131,41 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchjson: allocs/op within %.0f%% of baseline for all %d benchmarks\n",
 			*maxRegress, len(benches))
 	}
+	if *baseline != "" && *maxNsRegress > 0 {
+		re, err := regexp.Compile(*nsGate)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson: -ns-gate:", err)
+			return 2
+		}
+		regressions, err := CompareNs(*baseline, benches, re, *maxNsRegress)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(stderr, "benchjson: NS/OP REGRESSION:", r)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchjson: ns/op within %.0f%% of baseline for benchmarks matching %s\n",
+			*maxNsRegress, *nsGate)
+	}
+	if *monotonic != "" {
+		violations, err := CheckWorkersMonotonic(*monotonic, benches, *monoSlack)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(stderr, "benchjson: ALLOCS NOT MONOTONIC:", v)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchjson: %s allocs/op non-increasing in workers (slack %.1f%%)\n",
+			*monotonic, *monoSlack)
+	}
 	return 0
 }
 
@@ -174,17 +221,9 @@ func ParseBenchOutput(r io.Reader) ([]Bench, error) {
 // maxPct percent. Benchmarks absent from either side are skipped (new
 // benches should not fail the gate; renamed ones get a fresh baseline).
 func CompareAllocs(baselinePath string, current []Bench, maxPct float64) ([]string, error) {
-	blob, err := os.ReadFile(baselinePath)
+	baseBy, err := loadBaseline(baselinePath)
 	if err != nil {
 		return nil, err
-	}
-	var base File
-	if err := json.Unmarshal(blob, &base); err != nil {
-		return nil, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
-	}
-	baseBy := map[string]Bench{}
-	for _, b := range base.Benchmarks {
-		baseBy[b.Name] = b
 	}
 	var regressions []string
 	for _, cur := range current {
@@ -201,4 +240,92 @@ func CompareAllocs(baselinePath string, current []Bench, maxPct float64) ([]stri
 	}
 	sort.Strings(regressions)
 	return regressions, nil
+}
+
+// CompareNs checks current ns/op against the baseline for benchmarks whose
+// name matches the gate pattern, returning a description of every one that
+// regressed more than maxPct percent. Unlike allocs/op this is a wall-clock
+// metric, so callers pass a generous percentage: the gate exists to catch
+// scaling regressions (a parallel engine gone quadratic), not host noise.
+func CompareNs(baselinePath string, current []Bench, gate *regexp.Regexp, maxPct float64) ([]string, error) {
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var regressions []string
+	for _, cur := range current {
+		if !gate.MatchString(cur.Name) {
+			continue
+		}
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		limit := old.NsPerOp * (1 + maxPct/100)
+		if cur.NsPerOp > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (limit %.0f, +%.0f%%)",
+					cur.Name, cur.NsPerOp, old.NsPerOp, limit, maxPct))
+		}
+	}
+	sort.Strings(regressions)
+	return regressions, nil
+}
+
+// CheckWorkersMonotonic asserts that allocs/op does not grow with the
+// worker count across a family's workers=N sub-benchmarks: every higher
+// count must stay within slackPct percent of the minimum seen at any lower
+// count. The slack absorbs scheduling noise (which environment warms up on
+// which experiment varies run to run); a worker-scaled allocation leak —
+// e.g. environments rebuilt instead of pooled — exceeds it. Fewer than two
+// workers= rows is an error: the gate would otherwise pass vacuously when
+// the benchmark is misspelled or filtered out.
+func CheckWorkersMonotonic(family string, benches []Bench, slackPct float64) ([]string, error) {
+	type row struct {
+		workers int
+		allocs  int64
+	}
+	prefix := family + "/workers="
+	var rows []row
+	for _, b := range benches {
+		n, err := strconv.Atoi(strings.TrimPrefix(b.Name, prefix))
+		if strings.HasPrefix(b.Name, prefix) && err == nil {
+			rows = append(rows, row{n, b.AllocsPerOp})
+		}
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("-monotonic %s: found %d workers= sub-benchmarks, need at least 2", family, len(rows))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].workers < rows[j].workers })
+	var violations []string
+	min := rows[0]
+	for _, r := range rows[1:] {
+		limit := float64(min.allocs) * (1 + slackPct/100)
+		if float64(r.allocs) > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s/workers=%d: %d allocs/op vs %d at workers=%d (limit %.0f, +%.1f%%)",
+					family, r.workers, r.allocs, min.allocs, min.workers, limit, slackPct))
+		}
+		if r.allocs < min.allocs {
+			min = r
+		}
+	}
+	return violations, nil
+}
+
+// loadBaseline reads a previously emitted JSON file into a by-name map.
+func loadBaseline(path string) (map[string]Bench, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base File
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	by := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		by[b.Name] = b
+	}
+	return by, nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -83,6 +84,66 @@ func TestCompareAllocs(t *testing.T) {
 	regs, err = CompareAllocs(base, []Bench{{Name: "Brand/New", AllocsPerOp: 1 << 30}}, 20)
 	if err != nil || len(regs) != 0 {
 		t.Errorf("new bench flagged: %v %v", regs, err)
+	}
+}
+
+func TestCompareNs(t *testing.T) {
+	base := writeBaseline(t, []Bench{
+		{Name: "StudyParallel/workers=1", NsPerOp: 1e9},
+		{Name: "FramePath", NsPerOp: 250},
+	})
+	gate := regexp.MustCompile(`^StudyParallel/`)
+	// Within the 50% budget: no regression.
+	regs, err := CompareNs(base, []Bench{{Name: "StudyParallel/workers=1", NsPerOp: 1.4e9}}, gate, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("within-budget run flagged: %v", regs)
+	}
+	// Past the budget: flagged.
+	regs, err = CompareNs(base, []Bench{{Name: "StudyParallel/workers=1", NsPerOp: 1.6e9}}, gate, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "StudyParallel/workers=1") {
+		t.Errorf("over-budget run not flagged: %v", regs)
+	}
+	// Benchmarks outside the gate pattern are never flagged on ns/op.
+	regs, err = CompareNs(base, []Bench{{Name: "FramePath", NsPerOp: 1e6}}, gate, 50)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("ungated bench flagged: %v %v", regs, err)
+	}
+}
+
+func TestCheckWorkersMonotonic(t *testing.T) {
+	// Non-increasing (within slack): passes.
+	rows := []Bench{
+		{Name: "StudyParallel/workers=1", AllocsPerOp: 952000},
+		{Name: "StudyParallel/workers=2", AllocsPerOp: 946900},
+		{Name: "StudyParallel/workers=4", AllocsPerOp: 948400},
+		{Name: "StudyParallel/workers=6", AllocsPerOp: 949300},
+	}
+	viol, err := CheckWorkersMonotonic("StudyParallel", rows, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 0 {
+		t.Errorf("noise-level wobble flagged: %v", viol)
+	}
+	// A worker-scaled leak (environments rebuilt per worker): flagged.
+	leak := append([]Bench(nil), rows...)
+	leak[3].AllocsPerOp = 958000
+	viol, err = CheckWorkersMonotonic("StudyParallel", leak, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 1 || !strings.Contains(viol[0], "workers=6") {
+		t.Errorf("leak not flagged: %v", viol)
+	}
+	// A single row cannot prove monotonicity: error, not a vacuous pass.
+	if _, err := CheckWorkersMonotonic("StudyParallel", rows[:1], 0.5); err == nil {
+		t.Error("single-row family passed the monotonic gate")
 	}
 }
 

@@ -4,10 +4,15 @@
 // Usage:
 //
 //	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare]
-//	      [-fleet 100 -workers 8 -fleet-seed 1] [-resilience] [-fault lossy-wifi]
+//	      [-fleet 100 -fleet-seed 1] [-resilience] [-fault lossy-wifi]
 //	      [-adversary 200 -campaign-seed 3]
-//	      [-seed 1] [-parallel 6] [-metrics metrics.json] [-progress]
+//	      [-seed 1] [-workers 6] [-metrics metrics.json] [-progress]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-list]
+//
+// -workers sizes every engine's worker pool (connectivity experiments,
+// analysis extraction, fleet homes, adversary campaign, resilience
+// profiles); output is byte-identical for any value. -parallel remains as
+// a deprecated alias.
 //
 // Without -artifact, every artifact is printed in report order. The
 // command takes no positional arguments; unknown flags or arguments exit
@@ -53,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	aaaaEverywhere := fs.Bool("aaaa-everywhere", false, "ablation: publish AAAA records for every destination")
 	fwPolicy := fs.String("firewall", "", "re-run the §5.4.2 scan from a WAN vantage under an inbound-IPv6 policy: open|stateful|pinhole, or compare for all three")
 	fleetN := fs.Int("fleet", 0, "simulate a population of N independent homes and render the fleet artifact")
-	workers := fs.Int("workers", 0, "fleet worker-pool size; 0 = GOMAXPROCS (aggregates are identical for any value)")
+	workers := fs.Int("workers", 0, "worker-pool size for every engine (connectivity, analysis, fleet, adversary, resilience); 0 = engine default; output is byte-identical for any value")
 	fleetSeed := fs.Uint64("fleet-seed", 1, "fleet population seed; identical seeds reproduce the population exactly")
 	adversaryN := fs.Int("adversary", 0, "attack a population of N homes: address discovery, campaign sweep, worm propagation; renders the adversary artifact")
 	campaignSeed := fs.Uint64("campaign-seed", 1, "adversary campaign seed; identical seeds reproduce the attack exactly")
@@ -61,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultName := fs.String("fault", "", "run the whole lab under one impairment profile: clean|lossy-wifi|clamped-tunnel|flaky-dnsmasq")
 	seed := fs.Uint64("seed", 1, "impairment seed for -fault and -resilience; identical seeds reproduce runs byte-for-byte")
 	devices := fs.String("devices", "", "comma-separated device names restricting the testbed (default: the full registry)")
-	parallel := fs.Int("parallel", 0, "run the connectivity experiments (and analysis) on up to N workers; output is byte-identical for any N (0/1 = serial)")
+	parallel := fs.Int("parallel", 0, "deprecated alias for -workers")
 	metricsPath := fs.String("metrics", "", "write the deterministic telemetry snapshot to this file after the run (.prom/.txt = Prometheus text format, otherwise JSON)")
 	progress := fs.Bool("progress", false, "stream one line per completed experiment, fleet home, firewall policy, and resilience profile to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -108,8 +113,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "v6lab: -fleet wants a positive home count, got %d\n", *fleetN)
 		return 2
 	}
-	if (*workers != 0 || *fleetSeed != 1) && *fleetN == 0 && *adversaryN == 0 {
-		fmt.Fprintln(stderr, "v6lab: -workers and -fleet-seed only apply together with -fleet N or -adversary N")
+	if *fleetSeed != 1 && *fleetN == 0 && *adversaryN == 0 {
+		fmt.Fprintln(stderr, "v6lab: -fleet-seed only applies together with -fleet N or -adversary N")
 		return 2
 	}
 	if *adversaryN < 0 {
@@ -148,12 +153,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		labOpts = append(labOpts, v6lab.WithFaultProfile(p))
 	}
-	if *parallel < 0 {
-		fmt.Fprintf(stderr, "v6lab: -parallel wants a non-negative worker count, got %d\n", *parallel)
+	if *workers < 0 || *parallel < 0 {
+		fmt.Fprintf(stderr, "v6lab: -workers wants a non-negative worker count\n")
 		return 2
 	}
-	if *parallel > 1 {
-		labOpts = append(labOpts, v6lab.WithWorkers(*parallel))
+	if *workers != 0 && *parallel != 0 && *workers != *parallel {
+		fmt.Fprintln(stderr, "v6lab: -parallel is a deprecated alias for -workers; do not set both to different values")
+		return 2
+	}
+	// One worker knob for everything: WithWorkers sizes the connectivity
+	// engine and flows into the fleet/adversary parts below.
+	nWorkers := *workers
+	if nWorkers == 0 {
+		nWorkers = *parallel
+	}
+	if nWorkers > 0 {
+		labOpts = append(labOpts, v6lab.WithWorkers(nWorkers))
 	}
 	if *metricsPath != "" {
 		labOpts = append(labOpts, v6lab.WithTelemetry(telemetry.NewRegistry()))
@@ -240,8 +255,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *fleetN > 0 {
 		fmt.Fprintf(stderr, "simulating a fleet of %d homes (seed %d, workers %d)...\n",
-			*fleetN, *fleetSeed, *workers)
-		if err := lab.Run(v6lab.FleetWith(fleet.Config{Homes: *fleetN, Workers: *workers, Seed: *fleetSeed})); err != nil {
+			*fleetN, *fleetSeed, nWorkers)
+		if err := lab.Run(v6lab.FleetWith(fleet.Config{Homes: *fleetN, Seed: *fleetSeed})); err != nil {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
@@ -256,9 +271,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *adversaryN > 0 {
 		fmt.Fprintf(stderr, "attacking a fleet of %d homes (fleet seed %d, campaign seed %d, workers %d)...\n",
-			*adversaryN, *fleetSeed, *campaignSeed, *workers)
+			*adversaryN, *fleetSeed, *campaignSeed, nWorkers)
 		err := lab.Run(v6lab.AdversaryWith(adversary.Config{
-			Fleet:        fleet.Config{Homes: *adversaryN, Workers: *workers, Seed: *fleetSeed},
+			Fleet:        fleet.Config{Homes: *adversaryN, Seed: *fleetSeed},
 			CampaignSeed: *campaignSeed,
 		}))
 		if err != nil {

@@ -73,9 +73,24 @@ func TestNegativeFleetRejected(t *testing.T) {
 	}
 }
 
-func TestWorkersWithoutFleetRejected(t *testing.T) {
-	if code, _, _ := runCmd("-workers", "4"); code != 2 {
+func TestWorkersAppliesToEveryEngine(t *testing.T) {
+	code, stdout, _ := runCmd("-workers", "4", "-artifact", "table3")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	_, serial, _ := runCmd("-artifact", "table3")
+	if stdout != serial {
+		t.Fatalf("-workers 4 changed the table3 artifact")
+	}
+}
+
+func TestConflictingWorkersAliasRejected(t *testing.T) {
+	code, _, stderr := runCmd("-workers", "4", "-parallel", "2")
+	if code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "deprecated alias") {
+		t.Fatalf("stderr = %q, want deprecated-alias message", stderr)
 	}
 }
 

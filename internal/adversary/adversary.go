@@ -110,6 +110,10 @@ func (c Config) withDefaults() Config {
 	// The fleet's own per-home exposure scan would duplicate the campaign
 	// at twice the cost; the campaign is the WAN scan here.
 	c.Fleet.SkipExposure = true
+	// The campaign rebuilds every v6 home byte-identically; retained
+	// worlds let it reuse each home's plans and primed cloud registry
+	// instead of re-deriving them from the spec.
+	c.Fleet.RetainWorlds = true
 	c.Fleet.Telemetry = c.Telemetry
 	c.Fleet.Progress = c.Progress
 	return c

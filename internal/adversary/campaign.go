@@ -14,6 +14,7 @@ import (
 	"v6lab/internal/firewall"
 	"v6lab/internal/fleet"
 	"v6lab/internal/telemetry"
+	"v6lab/internal/world"
 )
 
 // This file is the campaign scheduler: the discovered population swept
@@ -118,7 +119,12 @@ type CampaignReport struct {
 // through its firewall. The rebuild boots byte-identically to the fleet's
 // original run (same profiles, same connectivity config, same V6Seq), so
 // the addresses discovery scored against are the addresses that answer.
-func campaignHome(cfg Config, spec fleet.HomeSpec, hd *HomeDiscovery, ports []uint16) (*HomeCampaign, error) {
+// The fleet retains each home's immutable world (RetainWorlds), so the
+// rebuild reuses its plans and primed cloud registry outright — only the
+// per-run state (stacks, switch, router) is reconstructed, on the calling
+// worker's recycled scratch.
+func campaignHome(cfg Config, hr *fleet.HomeResult, hd *HomeDiscovery, ports []uint16, scratch *experiment.Scratch) (*HomeCampaign, error) {
+	spec := hr.Spec
 	hc := &HomeCampaign{Index: spec.Index, Policy: spec.Policy}
 	ec, ok := experiment.ConfigByID(spec.ConfigID)
 	if !ok {
@@ -129,15 +135,22 @@ func campaignHome(cfg Config, spec fleet.HomeSpec, hd *HomeDiscovery, ports []ui
 		return hc, nil
 	}
 
-	reg := device.Registry()
-	profiles := make([]*device.Profile, len(spec.DeviceIndexes))
-	for j, di := range spec.DeviceIndexes {
-		profiles[j] = reg[di]
+	w := hr.World
+	if w == nil {
+		// Populations produced without RetainWorlds (or by older callers):
+		// rebuild the world from the spec.
+		reg := device.Registry()
+		profiles := make([]*device.Profile, len(spec.DeviceIndexes))
+		for j, di := range spec.DeviceIndexes {
+			profiles[j] = reg[di]
+		}
+		w = world.Build(profiles)
 	}
 	st := experiment.NewStudyWith(experiment.StudyOptions{
-		Devices:         profiles,
+		World:           w,
 		MaxFramesPerRun: cfg.Fleet.MaxFramesPerRun,
 		Telemetry:       cfg.Telemetry,
+		Scratch:         scratch,
 	})
 	began := st.Clock.Now()
 
@@ -247,12 +260,13 @@ func runCampaign(ctx context.Context, cfg Config, pop *fleet.Population, ds []*H
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := experiment.NewScratch()
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = campaignHome(cfg, pop.Homes[i].Spec, ds[i], ports)
+				results[i], errs[i] = campaignHome(cfg, pop.Homes[i], ds[i], ports, scratch)
 				if hc := results[i]; hc != nil && !hc.Skipped {
 					telemetry.Emit(cfg.Progress, telemetry.Event{
 						Scope:   "adversary",

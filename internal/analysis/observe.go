@@ -146,16 +146,19 @@ func Observe(id string, mode device.Mode, cap *pcapio.Capture, macMap map[packet
 		return d
 	}
 
-	parsed := make([]*packet.Packet, 0, len(cap.Records))
-	for _, rec := range cap.Records {
-		if p := packet.Parse(rec.Data); p.Err == nil {
-			parsed = append(parsed, p)
-		}
-	}
+	// Each pass re-parses the capture through one reusable decoder instead
+	// of materializing every parsed packet up front: the retained packet
+	// slice was the analysis pipeline's dominant allocation, and nothing
+	// extracted below outlives the record it came from.
+	dec := packet.NewDecoder()
 
 	// Pass 1: collect the IP->name mapping from DNS answers and TLS SNI,
 	// exactly the two attribution sources §5.2.2 names.
-	for _, p := range parsed {
+	for _, rec := range cap.Records {
+		p := dec.Parse(rec.Data)
+		if p.Err != nil {
+			continue
+		}
 		if p.UDP != nil && p.UDP.SrcPort == 53 {
 			if m, err := dnsmsg.Unpack(p.UDP.PayloadData); err == nil && m.Response {
 				for _, rr := range m.Answers {
@@ -173,8 +176,9 @@ func Observe(id string, mode device.Mode, cap *pcapio.Capture, macMap map[packet
 	}
 
 	// Pass 2: per-device feature extraction.
-	for _, p := range parsed {
-		if p.Ethernet == nil {
+	for _, rec := range cap.Records {
+		p := dec.Parse(rec.Data)
+		if p.Err != nil || p.Ethernet == nil {
 			continue
 		}
 		d := devFor(p.Ethernet.Src)

@@ -81,6 +81,26 @@ type Cloud struct {
 	nextV6  uint64 // host part within 2606:4700:10::/48
 	// Queries counts DNS questions served, by type, for diagnostics.
 	Queries map[dnsmsg.Type]int
+
+	// Scratch state for the packet path: HandleIP parses with a reusable
+	// decoder and serializes every reply through reusable layer structs
+	// into one reusable buffer, so returned reply slices are only valid
+	// until the next HandleIP call on this cloud. The router consumes
+	// replies synchronously (the switch copies frames at enqueue), which
+	// is what makes the reuse safe. Each Clone carries its own scratch,
+	// keeping concurrent experiment environments independent.
+	dec     packet.Decoder
+	tx      packet.Buffer
+	ip4L    packet.IPv4
+	ip6L    packet.IPv6
+	udpL    packet.UDP
+	tcpL    packet.TCP
+	ic4L    packet.ICMPv4
+	ic6L    packet.ICMPv6
+	rawL    packet.Raw
+	layers  [3]packet.SerializableLayer
+	payload []byte
+	reply   [1][]byte
 }
 
 // New creates an empty cloud with the NTP support domain preinstalled.
@@ -205,7 +225,7 @@ func (c *Cloud) Resolve(name string, qtype dnsmsg.Type) ([]dnsmsg.Record, dnsmsg
 // HandleIP processes one raw IP packet arriving from the router's WAN side
 // and returns zero or more raw IP reply packets.
 func (c *Cloud) HandleIP(raw []byte) [][]byte {
-	p := packet.ParseIP(raw)
+	p := c.dec.ParseIP(raw)
 	if p.Err != nil {
 		return nil
 	}
@@ -237,13 +257,46 @@ func (c *Cloud) reachable(dst netip.Addr) bool {
 }
 
 func (c *Cloud) replyUDP(p *packet.Packet, payload []byte) [][]byte {
-	out, err := serializeIP(p.DstIP(), p.SrcIP(),
-		&packet.UDP{SrcPort: p.UDP.DstPort, DstPort: p.UDP.SrcPort, Src: p.DstIP(), Dst: p.SrcIP()},
-		packet.Raw(payload))
+	c.udpL = packet.UDP{SrcPort: p.UDP.DstPort, DstPort: p.UDP.SrcPort, Src: p.DstIP(), Dst: p.SrcIP()}
+	return c.serializeReply(p.DstIP(), p.SrcIP(), &c.udpL, payload)
+}
+
+// serializeReply builds one raw IP reply (src → dst wrapping l4 and an
+// optional payload) into the cloud's reusable buffer and returns it as the
+// reply set. The bytes are valid until the next HandleIP call.
+func (c *Cloud) serializeReply(src, dst netip.Addr, l4 packet.SerializableLayer, payload []byte) [][]byte {
+	proto := protoOf(l4)
+	var ipLayer packet.SerializableLayer
+	if src.Is4() {
+		c.ip4L = packet.IPv4{Protocol: proto, Src: src, Dst: dst}
+		ipLayer = &c.ip4L
+	} else {
+		c.ip6L = packet.IPv6{NextHeader: proto, Src: src, Dst: dst}
+		ipLayer = &c.ip6L
+	}
+	ls := append(c.layers[:0], ipLayer, l4)
+	if len(payload) > 0 {
+		c.rawL = payload
+		ls = append(ls, &c.rawL)
+	}
+	out, err := packet.SerializeInto(&c.tx, ls...)
 	if err != nil {
 		return nil
 	}
-	return [][]byte{out}
+	c.reply[0] = out
+	return c.reply[:1]
+}
+
+// payloadBuf returns a zeroed n-byte scratch slice reused across replies.
+func (c *Cloud) payloadBuf(n int) []byte {
+	if cap(c.payload) < n {
+		c.payload = make([]byte, n)
+	}
+	b := c.payload[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
 }
 
 func (c *Cloud) handleDNS(p *packet.Packet) [][]byte {
@@ -275,7 +328,7 @@ func (c *Cloud) handleNTP(p *packet.Packet) [][]byte {
 	if !c.reachable(p.DstIP()) || len(p.UDP.PayloadData) < 48 {
 		return nil
 	}
-	resp := make([]byte, 48)
+	resp := c.payloadBuf(48)
 	resp[0] = 0x24 // LI=0 VN=4 mode=server
 	return c.replyUDP(p, resp)
 }
@@ -285,39 +338,36 @@ func (c *Cloud) handleNTP(p *packet.Packet) [][]byte {
 // data, and FIN-ACK teardown.
 func (c *Cloud) handleTCP(p *packet.Packet) [][]byte {
 	t := p.TCP
-	mk := func(flags uint8, seq, ack uint32, payload []byte) []byte {
-		out, err := serializeIP(p.DstIP(), p.SrcIP(), &packet.TCP{
+	mk := func(flags uint8, seq, ack uint32, payload []byte) [][]byte {
+		c.tcpL = packet.TCP{
 			SrcPort: t.DstPort, DstPort: t.SrcPort, Seq: seq, Ack: ack,
 			Flags: flags, Src: p.DstIP(), Dst: p.SrcIP(),
-		}, packet.Raw(payload))
-		if err != nil {
-			return nil
 		}
-		return out
+		return c.serializeReply(p.DstIP(), p.SrcIP(), &c.tcpL, payload)
 	}
 	if !c.reachable(p.DstIP()) {
 		if c.byAddr[p.DstIP()] != nil && p.IsIPv6() {
 			// AAAA-published but unreachable endpoint: silence (timeout).
 			return nil
 		}
-		return [][]byte{mk(packet.TCPFlagRST|packet.TCPFlagACK, 0, t.Seq+1, nil)}
+		return mk(packet.TCPFlagRST|packet.TCPFlagACK, 0, t.Seq+1, nil)
 	}
 	// Server initial sequence number, deterministic per 4-tuple.
 	isn := tupleHash(p.SrcIP(), p.DstIP(), t.SrcPort, t.DstPort)
 	switch {
 	case t.HasFlag(packet.TCPFlagSYN):
-		return [][]byte{mk(packet.TCPFlagSYN|packet.TCPFlagACK, isn, t.Seq+1, nil)}
+		return mk(packet.TCPFlagSYN|packet.TCPFlagACK, isn, t.Seq+1, nil)
 	case t.HasFlag(packet.TCPFlagFIN):
-		return [][]byte{mk(packet.TCPFlagFIN|packet.TCPFlagACK, t.Ack, t.Seq+1, nil)}
+		return mk(packet.TCPFlagFIN|packet.TCPFlagACK, t.Ack, t.Seq+1, nil)
 	case len(t.PayloadData) > 0:
 		// Acknowledge and answer with an equal-sized application payload,
 		// keeping per-destination volume proportional to what the device
 		// sent (Table 6's volume fractions count both directions).
-		resp := make([]byte, len(t.PayloadData))
+		resp := c.payloadBuf(len(t.PayloadData))
 		for i := range resp {
 			resp[i] = 0x17 // looks like TLS application data
 		}
-		return [][]byte{mk(packet.TCPFlagPSH|packet.TCPFlagACK, t.Ack, t.Seq+uint32(len(t.PayloadData)), resp)}
+		return mk(packet.TCPFlagPSH|packet.TCPFlagACK, t.Ack, t.Seq+uint32(len(t.PayloadData)), resp)
 	}
 	return nil
 }
@@ -326,39 +376,18 @@ func (c *Cloud) handleEcho6(p *packet.Packet) [][]byte {
 	if !c.reachable(p.DstIP()) && p.DstIP() != DNSv6 {
 		return nil
 	}
-	out, err := serializeIP(p.DstIP(), p.SrcIP(), &packet.ICMPv6{
+	c.ic6L = packet.ICMPv6{
 		Type: packet.ICMPv6TypeEchoReply, Body: p.ICMPv6.Body, Src: p.DstIP(), Dst: p.SrcIP(),
-	})
-	if err != nil {
-		return nil
 	}
-	return [][]byte{out}
+	return c.serializeReply(p.DstIP(), p.SrcIP(), &c.ic6L, nil)
 }
 
 func (c *Cloud) handleEcho4(p *packet.Packet) [][]byte {
 	if !c.reachable(p.DstIP()) && p.DstIP() != DNSv4 {
 		return nil
 	}
-	out, err := serializeIP(p.DstIP(), p.SrcIP(), &packet.ICMPv4{
-		Type: packet.ICMPv4TypeEchoReply, Body: p.ICMPv4.Body,
-	})
-	if err != nil {
-		return nil
-	}
-	return [][]byte{out}
-}
-
-// serializeIP builds a raw IP packet from src to dst wrapping the layers.
-func serializeIP(src, dst netip.Addr, layers ...packet.SerializableLayer) ([]byte, error) {
-	var ipLayer packet.SerializableLayer
-	if src.Is4() {
-		proto := protoOf(layers[0])
-		ipLayer = &packet.IPv4{Protocol: proto, Src: src, Dst: dst}
-	} else {
-		proto := protoOf(layers[0])
-		ipLayer = &packet.IPv6{NextHeader: proto, Src: src, Dst: dst}
-	}
-	return packet.Serialize(append([]packet.SerializableLayer{ipLayer}, layers...)...)
+	c.ic4L = packet.ICMPv4{Type: packet.ICMPv4TypeEchoReply, Body: p.ICMPv4.Body}
+	return c.serializeReply(p.DstIP(), p.SrcIP(), &c.ic4L, nil)
 }
 
 func protoOf(l packet.SerializableLayer) packet.IPProtocol {

@@ -49,6 +49,10 @@ type Stack struct {
 	// the switch copies frames into its arena at enqueue time, so the
 	// buffer is free for the next frame as soon as Send returns.
 	tx *packet.Buffer
+	// dec parses inbound frames in place. Handlers only retain data that
+	// is independent of the decoder (fresh copies, value types, or slices
+	// into the switch arena), so reuse across frames is safe.
+	dec packet.Decoder
 
 	mode   Mode
 	expSeq int // 0-based index among the device's v6-enabled experiments
@@ -150,6 +154,10 @@ func NewStack(p *Profile, pl *Plan, idx int, prefixes NetPrefixes) *Stack {
 	}
 }
 
+// MACFor returns the MAC NewStack(p, _, idx, _) will assign, so world
+// construction can index devices by address without building stacks.
+func MACFor(p *Profile, idx int) packet.MAC { return macFor(p, idx) }
+
 // macFor derives a stable unicast, universally-administered MAC whose OUI
 // encodes the manufacturer (the paper notes the OUI itself leaks vendor
 // identity, §5.4.1).
@@ -194,17 +202,28 @@ func (s *Stack) Reset(mode Mode, expSeq int) {
 	s.mode = mode
 	s.expSeq = expSeq
 	s.v4Addr = netip.Addr{}
-	s.llas, s.guas, s.ulas = nil, nil, nil
-	s.tentative = map[netip.Addr]bool{}
+	s.llas, s.guas, s.ulas = s.llas[:0], s.guas[:0], s.ulas[:0]
 	s.statefulAddr = netip.Addr{}
 	s.raSeen = nil
 	s.dnsV6 = netip.Addr{}
 	s.dhcp6ServerID = nil
-	s.pendingDNS = map[uint16]pendingQuery{}
-	s.conns = map[connKey]*conn{}
-	s.connOrder = nil
-	s.contacted = map[string]map[bool]bool{}
-	s.essOK = map[string]bool{}
+	// Maps are cleared in place rather than reallocated: a stack that is
+	// pooled across experiments (and across homes, via the env pool)
+	// reaches a steady state where Reset allocates nothing.
+	if s.tentative == nil {
+		s.tentative = map[netip.Addr]bool{}
+		s.pendingDNS = map[uint16]pendingQuery{}
+		s.conns = map[connKey]*conn{}
+		s.contacted = map[string]map[bool]bool{}
+		s.essOK = map[string]bool{}
+	} else {
+		clear(s.tentative)
+		clear(s.pendingDNS)
+		clear(s.conns)
+		clear(s.contacted)
+		clear(s.essOK)
+	}
+	s.connOrder = s.connOrder[:0]
 	s.nextDNSID = uint16(1000 + expSeq)
 	s.nextPort = 40000
 	s.dhcp6Pending = false
@@ -950,7 +969,7 @@ func (s *Stack) sendEUI64Probe() {
 
 // HandleFrame implements netsim.Host.
 func (s *Stack) HandleFrame(frame []byte) {
-	p := packet.Parse(frame)
+	p := s.dec.Parse(frame)
 	if p.Ethernet == nil || p.Err != nil {
 		return
 	}

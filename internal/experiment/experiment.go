@@ -19,6 +19,7 @@ import (
 	"v6lab/internal/pcapio"
 	"v6lab/internal/router"
 	"v6lab/internal/telemetry"
+	"v6lab/internal/world"
 )
 
 // Config is one connectivity experiment.
@@ -128,6 +129,11 @@ type AAAAResult struct {
 // Study holds the full reproduction state: devices, cloud, experiment
 // results, and active-measurement outputs.
 type Study struct {
+	// World is the immutable half of the study: population, plans, primed
+	// cloud registry, MAC index. Profiles/Plans/MACToDevice below alias it
+	// (kept as fields for the pre-World API).
+	World *world.World
+
 	Profiles []*device.Profile
 	Plans    []*device.Plan
 	Stacks   []*device.Stack
@@ -169,15 +175,42 @@ type Study struct {
 	// tm caches the registry's pre-resolved instruments; nil when
 	// Telemetry is nil.
 	tm *studyMetrics
+
+	// scratch holds the study's recycled run infrastructure (the switch
+	// and its frame arena); never nil after construction.
+	scratch *Scratch
+	// pool, when non-nil, recycles whole isolated environments across
+	// parallel runs and across studies over the same World.
+	pool *EnvPool
 }
 
 // StudyOptions parameterizes testbed construction. The zero value builds
 // the paper's single-home study: the full 93-device registry, the paper's
-// capture start time, and the default frame budget. Every field the study
-// touches is instantiated per call — two studies built from any options
-// share no mutable state and may run on concurrent goroutines.
+// capture start time, and the default frame budget. Unless World, Pool, or
+// Scratch deliberately share state, every field the study touches is
+// instantiated per call — two studies built from such options share no
+// mutable state and may run on concurrent goroutines. (A shared World is
+// read-only and therefore also concurrency-safe; a shared Scratch is not.)
 type StudyOptions struct {
+	// World, when non-nil, is a prebuilt immutable world the study runs
+	// over, shared read-only with any number of other studies. The study
+	// serves traffic through a Clone of its cloud (private query
+	// counters), so sharing is race-free. When nil, the study builds a
+	// private world from Devices/Start below — the compatibility path,
+	// byte-identical to the pre-World API.
+	World *world.World
+	// Pool, when non-nil, recycles isolated parallel-run environments
+	// (stacks, switch, clock, cloud clone) across studies. Environments
+	// are keyed by World identity, so a pool only pays off when studies
+	// share a World; mismatched environments are simply not reused.
+	Pool *EnvPool
+	// Scratch, when non-nil, donates recycled run infrastructure (the L2
+	// switch and its frame arena) to this study. Sharing a Scratch is
+	// only legal across *sequential* studies — one fleet worker's homes,
+	// never two concurrent ones. Nil means private scratch.
+	Scratch *Scratch
 	// Devices selects the device population; nil means the full registry.
+	// Ignored when World is set (the world fixes the population).
 	// Workload plans scale with the population: a household holding a
 	// subset of a category gets a proportional share of that category's
 	// paper-derived domain and volume targets.
@@ -213,10 +246,6 @@ func NewStudy() *Study {
 // NewStudyWith builds a testbed from options; see StudyOptions for the
 // zero-value defaults.
 func NewStudyWith(opts StudyOptions) *Study {
-	profiles := opts.Devices
-	if profiles == nil {
-		profiles = device.Registry()
-	}
 	start := opts.Start
 	if start.IsZero() {
 		start = time.Date(2024, 4, 5, 9, 0, 0, 0, time.UTC)
@@ -225,25 +254,35 @@ func NewStudyWith(opts StudyOptions) *Study {
 	if maxFrames == 0 {
 		maxFrames = 3_000_000
 	}
-	plans := device.BuildPlans(profiles)
-	cl := cloud.New()
-	for _, pl := range plans {
-		for _, sp := range pl.Specs {
-			cl.AddDomain(sp.Name, sp.Party, sp.HasAAAA, sp.Tracker)
-		}
+	w := opts.World
+	cl := (*cloud.Cloud)(nil)
+	if w == nil {
+		// Private world: the study owns it, so it can serve traffic on the
+		// master cloud directly — exactly the pre-World construction (and
+		// what keeps the ablation lab's EnsureAAAA mutations legal).
+		w = world.Build(opts.Devices)
+		cl = w.Cloud
+	} else {
+		// Shared world: private query counters over the shared registry.
+		cl = w.Cloud.Clone()
 	}
-	prefixes := device.NetPrefixes{GUA: router.GUAPrefix, ULA: router.ULAPrefix}
 	st := &Study{
-		Profiles:        profiles,
-		Plans:           plans,
+		World:           w,
+		Profiles:        w.Profiles,
+		Plans:           w.Plans,
 		Cloud:           cl,
 		Clock:           netsim.NewClock(start),
-		MACToDevice:     map[packet.MAC]*device.Profile{},
+		MACToDevice:     w.MACToDevice,
 		ActiveDNS:       map[string]AAAAResult{},
 		MaxFramesPerRun: maxFrames,
 		Workers:         opts.Workers,
 		Telemetry:       opts.Telemetry,
 		Progress:        opts.Progress,
+		scratch:         opts.Scratch,
+		pool:            opts.Pool,
+	}
+	if st.scratch == nil {
+		st.scratch = NewScratch()
 	}
 	if opts.Telemetry != nil {
 		st.tm = newStudyMetrics(opts.Telemetry)
@@ -255,10 +294,8 @@ func NewStudyWith(opts StudyOptions) *Study {
 		}
 		st.Faults = &fp
 	}
-	for i, p := range profiles {
-		s := device.NewStack(p, plans[i], i, prefixes)
-		st.Stacks = append(st.Stacks, s)
-		st.MACToDevice[s.MAC] = p
+	for i, p := range w.Profiles {
+		st.Stacks = append(st.Stacks, device.NewStack(p, w.Plans[i], i, w.Prefixes))
 	}
 	return st
 }
@@ -318,9 +355,11 @@ func (st *Study) runConnectivity(ctx context.Context) error {
 // functionality test.
 func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 	began := st.Clock.Now()
-	net := netsim.NewNetwork(st.Clock)
+	net := st.scratch.network(st.Clock)
 	if st.tm != nil {
 		net.SetMetrics(st.tm.net)
+	} else {
+		net.SetMetrics(nil)
 	}
 	cap := &pcapio.Capture{}
 	net.AddTap(cap)

@@ -137,14 +137,17 @@ func (st *Study) RunFirewallExposureUnder(cfg Config, policies []firewall.Policy
 	return rep, nil
 }
 
-// bootFirewalled builds a fresh network around the study's stacks with
-// pol installed on the router's inbound-IPv6 path, then runs the full
-// boot + announce + workload sequence so conntrack holds the devices'
-// outbound flows — the state every WAN-vantage scan must traverse.
+// bootFirewalled resets the study's scratch network around its stacks
+// with pol installed on the router's inbound-IPv6 path, then runs the
+// full boot + announce + workload sequence so conntrack holds the
+// devices' outbound flows — the state every WAN-vantage scan must
+// traverse.
 func (st *Study) bootFirewalled(cfg Config, pol firewall.Policy) (*netsim.Network, *router.Router, *firewall.Firewall, error) {
-	net := netsim.NewNetwork(st.Clock)
+	net := st.scratch.network(st.Clock)
 	if st.tm != nil {
 		net.SetMetrics(st.tm.net)
+	} else {
+		net.SetMetrics(nil)
 	}
 	rt := router.New(cfg.Router, st.Cloud)
 	fw := firewall.New(pol, st.Clock, conntrack.DefaultConfig())

@@ -7,10 +7,9 @@ import (
 	"sync"
 	"time"
 
-	"v6lab/internal/cloud"
 	"v6lab/internal/device"
+	"v6lab/internal/dnsmsg"
 	"v6lab/internal/netsim"
-	"v6lab/internal/router"
 )
 
 // The parallel study engine.
@@ -51,7 +50,7 @@ func (st *Study) runConnectivityParallel(ctx context.Context, workers int) error
 	start := st.Clock.Now()
 	type outcome struct {
 		res     *RunResult
-		cloud   *cloud.Cloud
+		queries map[dnsmsg.Type]int
 		elapsed time.Duration
 		err     error
 	}
@@ -65,16 +64,20 @@ func (st *Study) runConnectivityParallel(ctx context.Context, workers int) error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One environment per worker, reused across its jobs (and —
+			// via the pool — across studies). beginRun's absolute clock
+			// and XID seeding is what makes the reuse byte-invisible.
+			env := st.acquireEnv(start)
+			defer st.releaseEnv(env)
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					outcomes[i] = outcome{err: err}
 					continue
 				}
-				env := st.isolatedEnv(start)
-				env.seedDHCP4(Configs[:i])
+				env.beginRun(start, Configs[:i])
 				res, err := env.RunExperiment(Configs[i])
 				outcomes[i] = outcome{
-					res: res, cloud: env.Cloud,
+					res: res, queries: env.takeQueries(),
 					elapsed: env.Clock.Now().Sub(start), err: err,
 				}
 			}
@@ -107,7 +110,9 @@ func (st *Study) runConnectivityParallel(ctx context.Context, workers int) error
 		}
 		offset += out.elapsed
 		st.Results = append(st.Results, out.res)
-		st.Cloud.MergeQueries(out.cloud)
+		for t, n := range out.queries {
+			st.Cloud.Queries[t] += n
+		}
 	}
 	// Leave the shared clock and stacks exactly where the serial engine
 	// would: the port scan draws its timestamps and next DHCPv4 XID from
@@ -117,29 +122,31 @@ func (st *Study) runConnectivityParallel(ctx context.Context, workers int) error
 	return nil
 }
 
-// isolatedEnv builds a study sharing this one's immutable inputs
-// (profiles, plans, domain registry) but with private stacks, clock, and
-// query counters, so one experiment can run on it concurrently with
-// others.
+// isolatedEnv builds a study sharing this one's immutable World
+// (profiles, plans, domain registry) but with private stacks, clock,
+// scratch, and query counters, so one experiment can run on it
+// concurrently with others.
 func (st *Study) isolatedEnv(base time.Time) *Study {
-	prefixes := device.NetPrefixes{GUA: router.GUAPrefix, ULA: router.ULAPrefix}
+	w := st.World
 	env := &Study{
-		Profiles:        st.Profiles,
-		Plans:           st.Plans,
+		World:           w,
+		Profiles:        w.Profiles,
+		Plans:           w.Plans,
 		Cloud:           st.Cloud.Clone(),
 		Clock:           netsim.NewClock(base),
-		MACToDevice:     st.MACToDevice,
+		MACToDevice:     w.MACToDevice,
 		MaxFramesPerRun: st.MaxFramesPerRun,
+		scratch:         NewScratch(),
 		// The environments share the parent's instruments and sink:
 		// counter folds are atomic additions (order-independent), and
 		// cloud-query folding stays with the parent, which merges the
-		// clones' counters in config order before its single fold.
+		// environments' counters in config order before its single fold.
 		Telemetry: st.Telemetry,
 		Progress:  st.Progress,
 		tm:        st.tm,
 	}
-	for i, p := range st.Profiles {
-		env.Stacks = append(env.Stacks, device.NewStack(p, st.Plans[i], i, prefixes))
+	for i, p := range w.Profiles {
+		env.Stacks = append(env.Stacks, device.NewStack(p, w.Plans[i], i, w.Prefixes))
 	}
 	return env
 }

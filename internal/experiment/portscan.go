@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"v6lab/internal/device"
-	"v6lab/internal/netsim"
 	"v6lab/internal/router"
 	"v6lab/internal/scan"
 )
@@ -56,9 +55,11 @@ func probePorts(profiles []*device.Profile) []uint16 {
 // families, harvesting IPv6 addresses via all-nodes echo and the router's
 // neighbor table exactly as §4.3 describes.
 func (st *Study) RunPortScan() (*ScanReport, error) {
-	net := netsim.NewNetwork(st.Clock)
+	net := st.scratch.network(st.Clock)
 	if st.tm != nil {
 		net.SetMetrics(st.tm.net)
+	} else {
+		net.SetMetrics(nil)
 	}
 	cfg := Configs[len(Configs)-1] // dual-stack (stateful): everything live
 	rt := router.New(cfg.Router, st.Cloud)

@@ -7,6 +7,7 @@ import (
 
 	"v6lab/internal/faults"
 	"v6lab/internal/telemetry"
+	"v6lab/internal/world"
 )
 
 // ResilienceConfig aggregates one Table 2 experiment's outcome under one
@@ -82,12 +83,21 @@ func RunResilienceContext(ctx context.Context, opts StudyOptions, profiles ...fa
 	if len(profiles) == 0 {
 		profiles = faults.Grid()
 	}
+	// One immutable world for the whole grid: every profile's study shares
+	// the population, plans, and primed cloud registry, rebuilding only
+	// its own stacks.
+	if opts.World == nil {
+		opts.World = world.Build(opts.Devices)
+	}
 	rep := &ResilienceReport{Profiles: make([]*ResilienceProfile, len(profiles))}
 	workers := opts.Workers
 	if workers > len(profiles) {
 		workers = len(profiles)
 	}
 	if workers <= 1 {
+		if opts.Scratch == nil {
+			opts.Scratch = NewScratch()
+		}
 		for i, p := range profiles {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -109,12 +119,16 @@ func RunResilienceContext(ctx context.Context, opts StudyOptions, profiles ...fa
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Scratch is single-threaded: each worker gets its own,
+			// whatever the caller passed in opts.
+			wopts := opts
+			wopts.Scratch = NewScratch()
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
 					continue
 				}
-				rep.Profiles[i], devices[i], errs[i] = runResilienceProfile(opts, profiles[i])
+				rep.Profiles[i], devices[i], errs[i] = runResilienceProfile(wopts, profiles[i])
 			}
 		}()
 	}

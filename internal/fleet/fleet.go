@@ -23,6 +23,7 @@ import (
 	"v6lab/internal/experiment"
 	"v6lab/internal/firewall"
 	"v6lab/internal/telemetry"
+	"v6lab/internal/world"
 )
 
 // SizeBand is one bucket of the household-size distribution: homes in the
@@ -44,7 +45,10 @@ type Share struct {
 type Config struct {
 	// Homes is the population size.
 	Homes int
-	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	// Workers bounds the worker pool; 0 means GOMAXPROCS. Prefer setting
+	// the worker count once at the lab level (v6lab.WithWorkers), which
+	// fleet and adversary parts inherit; this field remains for callers
+	// driving the fleet package directly.
 	Workers int
 	// Seed derives every home's spec; identical seeds reproduce the
 	// population exactly. 0 means seed 1.
@@ -62,6 +66,13 @@ type Config struct {
 	MaxFramesPerRun int
 	// SkipExposure disables the per-home WAN-vantage inbound scan.
 	SkipExposure bool
+	// RetainWorlds keeps each home's immutable world on its HomeResult, so
+	// downstream phases that rebuild homes (the adversary campaign) skip
+	// re-deriving plans and re-priming the cloud registry. Off by default:
+	// a retained world pins the home's plans and domain registry in memory
+	// for the population's lifetime, which a plain 100k-home fleet run has
+	// no use for.
+	RetainWorlds bool
 	// Telemetry, when non-nil, instruments every home's subsystems into
 	// the shared registry. All folds are commuting counter additions, so
 	// the final snapshot is identical for any worker count.
@@ -182,6 +193,12 @@ func (r *rng) pick(shares []Share) string {
 // SpecFor derives home i's spec from the fleet seed alone; it never looks
 // at other homes, so specs can be produced in any order.
 func (c Config) SpecFor(i int) HomeSpec {
+	return c.specFor(device.Registry(), i)
+}
+
+// specFor is SpecFor against a caller-held registry snapshot, so the fleet
+// loop derives all N specs from one registry copy instead of N.
+func (c Config) specFor(registry []*device.Profile, i int) HomeSpec {
 	c = c.withDefaults()
 	r := &rng{s: c.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15}
 
@@ -195,7 +212,6 @@ func (c Config) SpecFor(i int) HomeSpec {
 	if band.Max > band.Min {
 		size += r.intn(band.Max - band.Min + 1)
 	}
-	registry := device.Registry()
 	if size > len(registry) {
 		size = len(registry)
 	}
@@ -268,19 +284,26 @@ type HomeResult struct {
 	// right after the connectivity run. The adversary subsystem scores
 	// its hitlists against it and harvests its Leaked records as seeds.
 	Inventory *HomeInventory
+
+	// World is the home's immutable world, retained only under
+	// Config.RetainWorlds; nil otherwise.
+	World *world.World
 }
 
-// runHome builds and runs one fully self-contained home.
-func runHome(cfg Config, spec HomeSpec) (*HomeResult, error) {
-	reg := device.Registry()
+// runHome builds and runs one fully self-contained home. reg is the fleet
+// run's shared registry snapshot (profiles are read-only during runs);
+// scratch is the calling worker's recycled run infrastructure.
+func runHome(cfg Config, reg []*device.Profile, spec HomeSpec, scratch *experiment.Scratch) (*HomeResult, error) {
 	profiles := make([]*device.Profile, len(spec.DeviceIndexes))
 	for j, di := range spec.DeviceIndexes {
 		profiles[j] = reg[di]
 	}
+	w := world.Build(profiles)
 	st := experiment.NewStudyWith(experiment.StudyOptions{
-		Devices:         profiles,
+		World:           w,
 		MaxFramesPerRun: cfg.MaxFramesPerRun,
 		Telemetry:       cfg.Telemetry,
+		Scratch:         scratch,
 	})
 	began := st.Clock.Now()
 	ec, ok := experiment.ConfigByID(spec.ConfigID)
@@ -345,6 +368,9 @@ func runHome(cfg Config, spec HomeSpec) (*HomeResult, error) {
 	}
 	st.FoldCloudMetrics()
 	hr.Elapsed = st.Clock.Now().Sub(began)
+	if cfg.RetainWorlds {
+		hr.World = w
+	}
 	return hr, nil
 }
 
@@ -381,6 +407,10 @@ func RunContext(ctx context.Context, cfg Config) (*Population, error) {
 	if cfg.Telemetry != nil {
 		homesDone = cfg.Telemetry.Counter("fleet", "homes_completed_total", "Fleet homes simulated to completion.")
 	}
+	// One registry snapshot for the whole fleet: profiles are read-only
+	// during runs, so every home's spec and world derive from the same
+	// copy instead of deep-copying the registry twice per home.
+	reg := device.Registry()
 	results := make([]*HomeResult, cfg.Homes)
 	errs := make([]error, cfg.Homes)
 	jobs := make(chan int)
@@ -393,12 +423,16 @@ func RunContext(ctx context.Context, cfg Config) (*Population, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker recycled scratch: each home's switch traffic runs
+			// in the same arena, so a long fleet allocates frame storage
+			// once per worker, not once per home.
+			scratch := experiment.NewScratch()
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = runHome(cfg, cfg.SpecFor(i))
+				results[i], errs[i] = runHome(cfg, reg, cfg.specFor(reg, i), scratch)
 				if hr := results[i]; hr != nil {
 					if homesDone != nil {
 						homesDone.Inc()

@@ -36,6 +36,10 @@ func (c *Clock) Advance(d time.Duration) {
 	}
 }
 
+// Reset rewinds the clock to the given instant, for pooled environments
+// that restart runs from a common base time.
+func (c *Clock) Reset(t time.Time) { c.now = t }
+
 // Host is anything attached to the network that can receive frames.
 type Host interface {
 	// HandleFrame processes one inbound frame. It may call Port.Send to
@@ -88,7 +92,15 @@ type Network struct {
 	Clock *Clock
 	ports []*Port
 	taps  []*pcapio.Capture
+	// queue[qhead:] holds the pending frames; draining advances qhead
+	// instead of re-slicing so the backing array survives Reset.
 	queue []queued
+	qhead int
+	// byMAC indexes ports by hardware address for O(1) unicast delivery.
+	// dupMAC flips when two live ports share a MAC, forcing the delivery
+	// loop back to the exhaustive scan so both still receive.
+	byMAC  map[packet.MAC]*Port
+	dupMAC bool
 	// PerFrameDelay is how far the clock advances per delivered frame.
 	PerFrameDelay time.Duration
 	// delivered counts frames delivered over the network's lifetime.
@@ -99,8 +111,8 @@ type Network struct {
 	dropped int
 	// arena pools the per-frame copies enqueue makes: one chunk
 	// allocation per 64 KiB of traffic instead of one per frame. Chunks
-	// are never recycled, so queued frames (and any sub-slices handlers
-	// retain, e.g. a parsed DUID) stay valid for the network's lifetime.
+	// are recycled by Reset, so queued frames (and any sub-slices handlers
+	// retain, e.g. a parsed DUID) stay valid until then.
 	arena packet.Arena
 	// metrics, when set, counts switch activity into pre-resolved
 	// telemetry instruments (plain atomic adds, no allocation).
@@ -151,7 +163,38 @@ func NewNetwork(clock *Clock) *Network {
 func (n *Network) Attach(h Host, mac packet.MAC) *Port {
 	p := &Port{net: n, host: h, MAC: mac, index: len(n.ports)}
 	n.ports = append(n.ports, p)
+	if n.byMAC == nil {
+		n.byMAC = make(map[packet.MAC]*Port)
+	}
+	if _, taken := n.byMAC[mac]; taken {
+		n.dupMAC = true
+	}
+	n.byMAC[mac] = p
 	return p
+}
+
+// Reset returns the network to its just-constructed state — no ports, taps,
+// queued frames, impairment, or counters — while keeping the queue's and
+// frame arena's capacity, so a pooled network reaches a steady state where
+// running a full home allocates nothing in the switch. All frames handed to
+// handlers before the Reset are invalidated (their bytes will be reused);
+// hosts from the previous run must be discarded or Reset themselves. A
+// non-nil clock replaces the network's clock; metrics and PerFrameDelay are
+// retained.
+func (n *Network) Reset(clock *Clock) {
+	n.ports = n.ports[:0]
+	n.taps = n.taps[:0]
+	n.queue = n.queue[:0]
+	n.qhead = 0
+	clear(n.byMAC)
+	n.dupMAC = false
+	n.delivered = 0
+	n.dropped = 0
+	n.imp = nil
+	n.arena.Reset()
+	if clock != nil {
+		n.Clock = clock
+	}
 }
 
 // AddTap registers a capture sink that records every frame on the wire.
@@ -185,13 +228,22 @@ func (n *Network) enqueue(from int, frame []byte) {
 // the number of frames delivered and an error if the budget was exhausted,
 // which in practice means a forwarding loop.
 func (n *Network) Run(maxFrames int) (int, error) {
+	// Unicast frames go straight to their destination port via byMAC; the
+	// exhaustive attach-order scan remains for promiscuous listeners and
+	// (defensively) duplicate MACs, where per-port checks are the point.
+	scan := n.dupMAC
+	for _, p := range n.ports {
+		if p.Promiscuous {
+			scan = true
+		}
+	}
 	count := 0
-	for len(n.queue) > 0 {
+	for n.qhead < len(n.queue) {
 		if count >= maxFrames {
 			return count, fmt.Errorf("netsim: frame budget %d exhausted (forwarding loop?)", maxFrames)
 		}
-		q := n.queue[0]
-		n.queue = n.queue[1:]
+		q := n.queue[n.qhead]
+		n.qhead++
 		count++
 		if n.imp != nil && !q.deferred {
 			switch n.imp.Verdict(q.frame) {
@@ -227,14 +279,31 @@ func (n *Network) Run(maxFrames int) (int, error) {
 			tap.Add(n.Clock.Now(), q.frame)
 		}
 		dst := frameDst(q.frame)
-		for _, p := range n.ports {
-			if p.index == q.from {
-				continue
+		switch {
+		case scan:
+			for _, p := range n.ports {
+				if p.index == q.from {
+					continue
+				}
+				if p.Promiscuous || dst == p.MAC || dst.IsMulticast() || dst == packet.BroadcastMAC {
+					p.host.HandleFrame(q.frame)
+				}
 			}
-			if p.Promiscuous || dst == p.MAC || dst.IsMulticast() || dst == packet.BroadcastMAC {
+		case dst.IsMulticast() || dst == packet.BroadcastMAC:
+			for _, p := range n.ports {
+				if p.index != q.from {
+					p.host.HandleFrame(q.frame)
+				}
+			}
+		default:
+			if p := n.byMAC[dst]; p != nil && p.index != q.from {
 				p.host.HandleFrame(q.frame)
 			}
 		}
+	}
+	if n.qhead == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.qhead = 0
 	}
 	return count, nil
 }

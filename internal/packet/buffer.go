@@ -111,10 +111,12 @@ func SerializeInto(b *Buffer, layers ...SerializableLayer) ([]byte, error) {
 // slice into a large shared chunk and returns a full-capacity-clipped view
 // of the copy. One allocation per chunk replaces one per blob, which is
 // what makes the per-frame paths (switch queue, capture records) cheap.
-// Chunks are never reused, so returned slices stay valid (and immutable)
-// for the arena's lifetime.
+// Filled chunks are retained, so returned slices stay valid (and
+// immutable) until Reset; an arena that is Reset between runs reaches a
+// steady state where CopyIn never allocates at all.
 type Arena struct {
-	chunk []byte
+	chunks [][]byte
+	cur    int
 	// ChunkSize is the allocation granularity; 0 means 64 KiB.
 	ChunkSize int
 }
@@ -122,19 +124,38 @@ type Arena struct {
 // CopyIn copies b into the arena and returns the stable copy.
 func (a *Arena) CopyIn(b []byte) []byte {
 	n := len(b)
-	if cap(a.chunk)-len(a.chunk) < n {
-		size := a.ChunkSize
-		if size <= 0 {
-			size = 1 << 16
+	for {
+		if a.cur == len(a.chunks) {
+			size := a.ChunkSize
+			if size <= 0 {
+				size = 1 << 16
+			}
+			if n > size {
+				size = n
+			}
+			a.chunks = append(a.chunks, make([]byte, 0, size))
 		}
-		if n > size {
-			size = n
+		c := a.chunks[a.cur]
+		if cap(c)-len(c) >= n {
+			off := len(c)
+			c = append(c, b...)
+			a.chunks[a.cur] = c
+			return c[off : off+n : off+n]
 		}
-		a.chunk = make([]byte, 0, size)
+		a.cur++
 	}
-	off := len(a.chunk)
-	a.chunk = append(a.chunk, b...)
-	return a.chunk[off : off+n : off+n]
+}
+
+// Reset rewinds the arena to empty while keeping every chunk's capacity,
+// invalidating all slices previously returned by CopyIn: their bytes will
+// be overwritten by subsequent CopyIns. Callers pooling an arena across
+// runs must ensure nothing from the previous run still references its
+// memory before calling Reset.
+func (a *Arena) Reset() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.cur = 0
 }
 
 // Raw is a SerializableLayer wrapping literal payload bytes.

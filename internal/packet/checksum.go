@@ -1,17 +1,37 @@
 package packet
 
-import "net/netip"
+import (
+	"encoding/binary"
+	"net/netip"
+)
 
-// sum16 accumulates data into the running one's-complement sum.
+// sum16 accumulates data into the running one's-complement sum. It reads
+// eight bytes per step into a 64-bit accumulator — one's-complement
+// addition is associative, so summing aligned 32-bit words and deferring
+// the carry fold gives the same result as the word-at-a-time definition —
+// and folds below 16 bits before returning so callers can keep chaining
+// 16-bit quantities into a uint32 without overflow.
 func sum16(sum uint32, data []byte) uint32 {
-	n := len(data)
-	for i := 0; i+1 < n; i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	s := uint64(sum)
+	for len(data) >= 8 {
+		s += uint64(binary.BigEndian.Uint32(data)) + uint64(binary.BigEndian.Uint32(data[4:]))
+		data = data[8:]
 	}
-	if n%2 == 1 {
-		sum += uint32(data[n-1]) << 8
+	if len(data) >= 4 {
+		s += uint64(binary.BigEndian.Uint32(data))
+		data = data[4:]
 	}
-	return sum
+	if len(data) >= 2 {
+		s += uint64(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		s += uint64(data[0]) << 8
+	}
+	for s>>16 != 0 {
+		s = (s & 0xffff) + (s >> 16)
+	}
+	return uint32(s)
 }
 
 // foldChecksum folds a 32-bit accumulator into the final 16-bit Internet

@@ -1,0 +1,124 @@
+package packet
+
+import "fmt"
+
+// Decoder parses frames without allocating: it owns one instance of every
+// layer type plus a single Packet whose Layers slice is backed by a fixed
+// array, and Parse/ParseIP fill those in place. Profiles of the full study
+// showed the package-level Parse — one fresh Packet plus one fresh struct
+// per layer per frame — accounting for over 70% of all allocations, so
+// every steady-state parse site (device stacks, the router, the cloud, the
+// analysis pipeline, the scanner) owns a Decoder instead.
+//
+// The returned *Packet and every layer it points to are overwritten by the
+// next Parse/ParseIP call on the same Decoder, so callers must not retain
+// the Packet or any layer struct across calls. Retaining slices the layers
+// expose (payload views into the frame) is governed by the frame's own
+// lifetime, exactly as with the allocating Parse.
+//
+// A Decoder is not safe for concurrent use; give each goroutine-confined
+// owner its own.
+type Decoder struct {
+	pkt    Packet
+	layers [4]Layer
+
+	eth Ethernet
+	arp ARP
+	ip4 IPv4
+	ip6 IPv6
+	ic4 ICMPv4
+	ic6 ICMPv6
+	udp UDP
+	tcp TCP
+}
+
+// NewDecoder returns a ready Decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Parse decodes an Ethernet frame in place, mirroring the package-level
+// Parse. The result is valid until the next call on this Decoder.
+func (d *Decoder) Parse(frame []byte) *Packet { return d.parseFrom(frame, LayerTypeEthernet) }
+
+// ParseIP decodes a raw IP packet (no link layer) in place, mirroring the
+// package-level ParseIP. The result is valid until the next call on this
+// Decoder.
+func (d *Decoder) ParseIP(data []byte) *Packet {
+	d.reset()
+	if len(data) == 0 {
+		d.pkt.Err = ErrTruncated
+		return &d.pkt
+	}
+	switch data[0] >> 4 {
+	case 4:
+		return d.walk(data, LayerTypeIPv4)
+	case 6:
+		return d.walk(data, LayerTypeIPv6)
+	}
+	d.pkt.Err = fmt.Errorf("packet: unknown IP version %d", data[0]>>4)
+	return &d.pkt
+}
+
+func (d *Decoder) reset() {
+	d.pkt = Packet{Layers: d.layers[:0]}
+}
+
+func (d *Decoder) parseFrom(data []byte, first LayerType) *Packet {
+	d.reset()
+	return d.walk(data, first)
+}
+
+// walk mirrors parseFrom but reuses the Decoder-owned layer structs. Each
+// struct is zeroed before its DecodeFromBytes so no field survives from a
+// previous frame.
+func (d *Decoder) walk(data []byte, next LayerType) *Packet {
+	p := &d.pkt
+	for next != LayerTypeZero && next != LayerTypePayload {
+		var dl DecodingLayer
+		switch next {
+		case LayerTypeEthernet:
+			d.eth = Ethernet{}
+			p.Ethernet = &d.eth
+			dl = &d.eth
+		case LayerTypeARP:
+			d.arp = ARP{}
+			p.ARP = &d.arp
+			dl = &d.arp
+		case LayerTypeIPv4:
+			d.ip4 = IPv4{}
+			p.IPv4 = &d.ip4
+			dl = &d.ip4
+		case LayerTypeIPv6:
+			d.ip6 = IPv6{}
+			p.IPv6 = &d.ip6
+			dl = &d.ip6
+		case LayerTypeICMPv4:
+			d.ic4 = ICMPv4{}
+			p.ICMPv4 = &d.ic4
+			dl = &d.ic4
+		case LayerTypeICMPv6:
+			d.ic6 = ICMPv6{}
+			p.ICMPv6 = &d.ic6
+			dl = &d.ic6
+		case LayerTypeUDP:
+			d.udp = UDP{}
+			p.UDP = &d.udp
+			dl = &d.udp
+		case LayerTypeTCP:
+			d.tcp = TCP{}
+			p.TCP = &d.tcp
+			dl = &d.tcp
+		default:
+			p.Err = fmt.Errorf("packet: no decoder for %v", next)
+			return p
+		}
+		if err := dl.DecodeFromBytes(data); err != nil {
+			p.Err = fmt.Errorf("decoding %v: %w", next, err)
+			return p
+		}
+		p.Layers = append(p.Layers, dl)
+		data = dl.Payload()
+		next = dl.NextLayerType()
+	}
+	p.AppPayload = data
+	return p
+}

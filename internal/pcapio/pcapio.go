@@ -221,27 +221,44 @@ func ReadFile(path string) ([]Record, error) {
 type Capture struct {
 	Records []Record
 	// arena bump-allocates record payload copies in 64 KiB chunks: one
-	// allocation per chunk instead of one per frame. Chunks are never
-	// reused, so Record.Data slices stay stable for the capture's life.
+	// allocation per chunk instead of one per frame. Chunks are retained
+	// until Reset, so Record.Data slices stay stable until then.
 	arena arena
 }
 
 // arena is a minimal bump allocator (pcapio stays stdlib-only, so it does
 // not borrow the packet package's).
-type arena struct{ chunk []byte }
+type arena struct {
+	chunks [][]byte
+	cur    int
+}
 
 func (a *arena) copyIn(b []byte) []byte {
 	n := len(b)
-	if cap(a.chunk)-len(a.chunk) < n {
-		size := 1 << 16
-		if n > size {
-			size = n
+	for {
+		if a.cur == len(a.chunks) {
+			size := 1 << 16
+			if n > size {
+				size = n
+			}
+			a.chunks = append(a.chunks, make([]byte, 0, size))
 		}
-		a.chunk = make([]byte, 0, size)
+		c := a.chunks[a.cur]
+		if cap(c)-len(c) >= n {
+			off := len(c)
+			c = append(c, b...)
+			a.chunks[a.cur] = c
+			return c[off : off+n : off+n]
+		}
+		a.cur++
 	}
-	off := len(a.chunk)
-	a.chunk = append(a.chunk, b...)
-	return a.chunk[off : off+n : off+n]
+}
+
+func (a *arena) reset() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.cur = 0
 }
 
 // Add appends a frame, copying data (into the capture's arena) so callers
@@ -252,6 +269,16 @@ func (c *Capture) Add(t time.Time, data []byte) {
 
 // Len returns the number of captured frames.
 func (c *Capture) Len() int { return len(c.Records) }
+
+// Reset empties the capture while keeping the record slice's and arena's
+// capacity, so a pooled capture adds frames without allocating. Every
+// previously returned Record (and its Data) is invalidated: the bytes will
+// be overwritten by subsequent Adds. Only reuse a capture whose records
+// have been fully consumed (written out, analyzed, or discarded).
+func (c *Capture) Reset() {
+	c.Records = c.Records[:0]
+	c.arena.reset()
+}
 
 // Save writes the capture to a pcap file.
 func (c *Capture) Save(path string) error { return WriteFile(path, c.Records) }

@@ -56,6 +56,24 @@ type Router struct {
 	// can be reused immediately after Send.
 	tx *packet.Buffer
 
+	// dec parses LAN frames; wanDec parses WAN-side replies and injected
+	// probes while a LAN parse may still be live. wanTx and wanBuf are the
+	// reusable buffers for WAN-bound raw IP packets, and the scratch layer
+	// structs below back the hot forwarding paths so no per-packet layer
+	// allocation survives in steady state. All of it is single-goroutine
+	// state, like the router itself.
+	dec    packet.Decoder
+	wanDec packet.Decoder
+	wanTx  *packet.Buffer
+	wanBuf []byte
+	ethL   packet.Ethernet
+	ip4L   packet.IPv4
+	ip6L   packet.IPv6
+	udpL   packet.UDP
+	tcpL   packet.TCP
+	rawL   packet.Raw
+	layerS [4]packet.SerializableLayer
+
 	// dhcp4Leases maps client MAC to its assigned private address.
 	dhcp4Leases map[packet.MAC]netip.Addr
 	nextLease   uint8
@@ -108,6 +126,7 @@ func New(cfg Config, cl *cloud.Cloud) *Router {
 		Cfg:         cfg,
 		Cloud:       cl,
 		tx:          packet.NewBuffer(128),
+		wanTx:       packet.NewBuffer(128),
 		dhcp4Leases: make(map[packet.MAC]netip.Addr),
 		dhcp6Leases: make(map[string]netip.Addr),
 		Neighbors:   make(map[netip.Addr]packet.MAC),
@@ -134,7 +153,7 @@ func (r *Router) SetFirewall(fw *firewall.Firewall) { r.FW = fw }
 
 // HandleFrame implements netsim.Host.
 func (r *Router) HandleFrame(frame []byte) {
-	p := packet.Parse(frame)
+	p := r.dec.Parse(frame)
 	if p.Ethernet == nil {
 		return
 	}
@@ -194,16 +213,18 @@ func (r *Router) transmitL4(dstMAC, srcMAC packet.MAC, src, dst netip.Addr, l4 p
 	var ipLayer packet.SerializableLayer
 	typ := packet.EtherTypeIPv4
 	if src.Is4() {
-		ipLayer = &packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst}
+		r.ip4L = packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst}
+		ipLayer = &r.ip4L
 	} else {
-		ipLayer = &packet.IPv6{NextHeader: protoOf(l4), Src: src, Dst: dst}
+		r.ip6L = packet.IPv6{NextHeader: protoOf(l4), Src: src, Dst: dst}
+		ipLayer = &r.ip6L
 		typ = packet.EtherTypeIPv6
 	}
-	layers := []packet.SerializableLayer{
-		&packet.Ethernet{Dst: dstMAC, Src: srcMAC, Type: typ}, ipLayer, l4,
-	}
+	r.ethL = packet.Ethernet{Dst: dstMAC, Src: srcMAC, Type: typ}
+	layers := append(r.layerS[:0], &r.ethL, ipLayer, l4)
 	if extra := payloadOf(l4); extra != nil {
-		layers = append(layers, packet.Raw(extra))
+		r.rawL = extra
+		layers = append(layers, &r.rawL)
 	}
 	r.transmit(layers...)
 }
@@ -285,15 +306,16 @@ func (r *Router) forwardV4(p *packet.Packet) {
 	}
 	switch {
 	case p.UDP != nil:
-		l4 = &packet.UDP{SrcPort: natPort, DstPort: p.UDP.DstPort, Src: WANv4, Dst: p.IPv4.Dst, PayloadData: p.UDP.PayloadData}
+		r.udpL = packet.UDP{SrcPort: natPort, DstPort: p.UDP.DstPort, Src: WANv4, Dst: p.IPv4.Dst, PayloadData: p.UDP.PayloadData}
+		l4 = &r.udpL
 	case p.TCP != nil:
-		t := *p.TCP
-		t.SrcPort, t.Src, t.Dst = natPort, WANv4, p.IPv4.Dst
-		l4 = &t
+		r.tcpL = *p.TCP
+		r.tcpL.SrcPort, r.tcpL.Src, r.tcpL.Dst = natPort, WANv4, p.IPv4.Dst
+		l4 = &r.tcpL
 	case p.ICMPv4 != nil:
 		l4 = p.ICMPv4
 	}
-	raw, err := buildIPPacket(WANv4, p.IPv4.Dst, l4)
+	raw, err := r.buildIPPacket(WANv4, p.IPv4.Dst, l4)
 	if err != nil {
 		return
 	}
@@ -304,7 +326,7 @@ func (r *Router) forwardV4(p *packet.Packet) {
 }
 
 func (r *Router) deliverWANReplyV4(raw []byte, devMAC packet.MAC) {
-	rp := packet.ParseIP(raw)
+	rp := r.wanDec.ParseIP(raw)
 	if rp.Err != nil || rp.IPv4 == nil {
 		return
 	}
@@ -332,11 +354,12 @@ func (r *Router) deliverWANReplyV4(raw []byte, devMAC packet.MAC) {
 	devIP := entry.devIP
 	switch {
 	case rp.UDP != nil:
-		l4 = &packet.UDP{SrcPort: rp.UDP.SrcPort, DstPort: entry.devPort, Src: rp.IPv4.Src, Dst: devIP, PayloadData: rp.UDP.PayloadData}
+		r.udpL = packet.UDP{SrcPort: rp.UDP.SrcPort, DstPort: entry.devPort, Src: rp.IPv4.Src, Dst: devIP, PayloadData: rp.UDP.PayloadData}
+		l4 = &r.udpL
 	case rp.TCP != nil:
-		t := *rp.TCP
-		t.DstPort, t.Src, t.Dst = entry.devPort, rp.IPv4.Src, devIP
-		l4 = &t
+		r.tcpL = *rp.TCP
+		r.tcpL.DstPort, r.tcpL.Src, r.tcpL.Dst = entry.devPort, rp.IPv4.Src, devIP
+		l4 = &r.tcpL
 	case rp.ICMPv4 != nil:
 		// Without a port mapping we cannot recover the device IP from the
 		// ICMP reply alone; use the ARP table via MAC instead.
@@ -370,10 +393,7 @@ func (r *Router) forwardV6(p *packet.Packet) {
 	if !GUAPrefix.Contains(p.IPv6.Src) {
 		return // ULA/LLA sources are not globally routable
 	}
-	raw, err := reserializeIPv6(p)
-	if err != nil {
-		return
-	}
+	raw := r.reserializeIPv6(p)
 	if r.Faults != nil {
 		if mtu := r.Faults.TunnelMTU(); mtu > 0 && len(raw) > mtu {
 			r.sendPacketTooBig(p, mtu, raw)
@@ -396,7 +416,7 @@ func (r *Router) forwardV6(p *packet.Packet) {
 // it must pass the inbound firewall, and the destination must be a known
 // neighbor.
 func (r *Router) deliverWANv6(raw []byte) {
-	rp := packet.ParseIP(raw)
+	rp := r.wanDec.ParseIP(raw)
 	if rp.Err != nil || rp.IPv6 == nil {
 		return
 	}
@@ -415,7 +435,9 @@ func (r *Router) deliverWANv6(raw []byte) {
 	if !ok {
 		return
 	}
-	r.transmit(&packet.Ethernet{Dst: mac, Src: RouterMAC, Type: packet.EtherTypeIPv6}, packet.Raw(raw))
+	r.ethL = packet.Ethernet{Dst: mac, Src: RouterMAC, Type: packet.EtherTypeIPv6}
+	r.rawL = raw
+	r.transmit(&r.ethL, &r.rawL)
 }
 
 // InjectWANv6 delivers an unsolicited raw IPv6 packet arriving from the
@@ -444,22 +466,26 @@ func (r *Router) sendPacketTooBig(p *packet.Packet, mtu int, raw []byte) {
 	}
 }
 
-// reserializeIPv6 strips the Ethernet header, returning the raw IP packet.
-func reserializeIPv6(p *packet.Packet) ([]byte, error) {
-	return append([]byte(nil), p.Ethernet.PayloadData...), nil
+// reserializeIPv6 strips the Ethernet header, copying the raw IP packet
+// into the router's reusable WAN buffer. The result is valid until the
+// next forwardV6; the cloud, the WAN tap, and the tunnel-clamp path all
+// consume it synchronously.
+func (r *Router) reserializeIPv6(p *packet.Packet) []byte {
+	r.wanBuf = append(r.wanBuf[:0], p.Ethernet.PayloadData...)
+	return r.wanBuf
 }
 
-// buildIPPacket serializes an IPv4 packet around an L4 layer, re-emitting
-// any payload the layer carries.
-func buildIPPacket(src, dst netip.Addr, l4 packet.SerializableLayer) ([]byte, error) {
-	layers := []packet.SerializableLayer{
-		&packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst},
-	}
-	layers = append(layers, l4)
+// buildIPPacket serializes an IPv4 packet around an L4 layer into the
+// router's reusable WAN buffer, re-emitting any payload the layer carries.
+// The result is valid until the next forwardV4.
+func (r *Router) buildIPPacket(src, dst netip.Addr, l4 packet.SerializableLayer) ([]byte, error) {
+	r.ip4L = packet.IPv4{Protocol: protoOf(l4), Src: src, Dst: dst}
+	layers := append(r.layerS[:0], &r.ip4L, l4)
 	if extra := payloadOf(l4); extra != nil {
-		layers = append(layers, packet.Raw(extra))
+		r.rawL = extra
+		layers = append(layers, &r.rawL)
 	}
-	return packet.Serialize(layers...)
+	return packet.SerializeInto(r.wanTx, layers...)
 }
 
 func protoOf(l packet.SerializableLayer) packet.IPProtocol {

@@ -28,12 +28,14 @@ type Collector struct {
 	// OnSYNACK receives the responding device address and the service
 	// port that answered.
 	OnSYNACK func(src netip.Addr, port uint16)
+
+	dec packet.Decoder
 }
 
 // Tap inspects one raw WAN-bound IPv6 packet, reporting true when it was
 // addressed to the vantage and therefore consumed.
 func (c *Collector) Tap(raw []byte) bool {
-	rp := packet.ParseIP(raw)
+	rp := c.dec.ParseIP(raw)
 	if rp.Err != nil || rp.IPv6 == nil || rp.IPv6.Dst != c.Vantage {
 		return false
 	}

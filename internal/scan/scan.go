@@ -26,6 +26,14 @@ type Scanner struct {
 	synAck map[uint16]bool
 	rst    map[uint16]bool
 	icmpUn map[uint16]bool
+
+	// dec parses inbound frames; innerDec parses the invoking packet
+	// quoted inside ICMP unreachable bodies while dec's result is live.
+	dec      packet.Decoder
+	innerDec packet.Decoder
+	// tx is the reusable probe serialization buffer (the switch copies
+	// frames at enqueue time).
+	tx *packet.Buffer
 }
 
 // New creates a scanner with testbed-reserved addresses.
@@ -34,6 +42,7 @@ func New() *Scanner {
 		MAC: packet.MAC{0x02, 0x5c, 0xa9, 0x00, 0x00, 0xfe},
 		V4:  netip.MustParseAddr("192.168.1.250"),
 		LLA: netip.MustParseAddr("fe80::5ca9"),
+		tx:  packet.NewBuffer(128),
 	}
 }
 
@@ -45,7 +54,7 @@ func (sc *Scanner) Attach(n *netsim.Network) {
 
 // HandleFrame implements netsim.Host.
 func (sc *Scanner) HandleFrame(frame []byte) {
-	p := packet.Parse(frame)
+	p := sc.dec.Parse(frame)
 	if p.Err != nil || p.Ethernet == nil {
 		return
 	}
@@ -62,13 +71,13 @@ func (sc *Scanner) HandleFrame(frame []byte) {
 	case p.ICMPv6 != nil && p.ICMPv6.Type == packet.ICMPv6TypeDestUnreachable:
 		// Body: 4 unused bytes, then the invoking IPv6 packet.
 		if inner := p.ICMPv6.Body; len(inner) >= 4+48 {
-			if ip := packet.ParseIP(inner[4:]); ip.UDP != nil {
+			if ip := sc.innerDec.ParseIP(inner[4:]); ip.UDP != nil {
 				sc.icmpUn[ip.UDP.DstPort] = true
 			}
 		}
 	case p.ICMPv4 != nil && p.ICMPv4.Type == 3:
 		if inner := p.ICMPv4.Body; len(inner) >= 4+28 {
-			if ip := packet.ParseIP(inner[4:]); ip.UDP != nil {
+			if ip := sc.innerDec.ParseIP(inner[4:]); ip.UDP != nil {
 				sc.icmpUn[ip.UDP.DstPort] = true
 			}
 		}
@@ -81,7 +90,7 @@ func (sc *Scanner) HandleFrame(frame []byte) {
 func (sc *Scanner) DiscoverV6(n *netsim.Network) (map[netip.Addr]packet.MAC, error) {
 	sc.found = map[netip.Addr]packet.MAC{}
 	dst := addr.AllNodesMulticast
-	frame, err := packet.Serialize(
+	frame, err := packet.SerializeInto(sc.tx,
 		&packet.Ethernet{Dst: addr.MulticastMAC(dst), Src: sc.MAC, Type: packet.EtherTypeIPv6},
 		&packet.IPv6{NextHeader: packet.IPProtocolICMPv6, HopLimit: 64, Src: sc.LLA, Dst: dst},
 		&packet.ICMPv6{Type: packet.ICMPv6TypeEchoRequest, Body: []byte{0, 7, 0, 1}, Src: sc.LLA, Dst: dst},
@@ -118,7 +127,7 @@ func (sc *Scanner) TCPScan(n *netsim.Network, target netip.Addr, mac packet.MAC,
 		} else {
 			ipLayer = &packet.IPv6{NextHeader: packet.IPProtocolTCP, Src: src, Dst: target}
 		}
-		frame, err := packet.Serialize(
+		frame, err := packet.SerializeInto(sc.tx,
 			&packet.Ethernet{Dst: mac, Src: sc.MAC, Type: typ},
 			ipLayer,
 			&packet.TCP{SrcPort: uint16(50000 + i), DstPort: dport, Seq: 7, Flags: packet.TCPFlagSYN, Src: src, Dst: target},
@@ -157,7 +166,7 @@ func (sc *Scanner) UDPScan(n *netsim.Network, target netip.Addr, mac packet.MAC,
 		} else {
 			ipLayer = &packet.IPv6{NextHeader: packet.IPProtocolUDP, Src: src, Dst: target}
 		}
-		frame, err := packet.Serialize(
+		frame, err := packet.SerializeInto(sc.tx,
 			&packet.Ethernet{Dst: mac, Src: sc.MAC, Type: typ},
 			ipLayer,
 			&packet.UDP{SrcPort: uint16(51000 + i), DstPort: dport, Src: src, Dst: target},

@@ -133,7 +133,9 @@ func runSpec(ctx context.Context, spec JobSpec, sink telemetry.Sink) (*Result, e
 	if spec.MaxFramesPerRun > 0 {
 		opts = append(opts, v6lab.WithMaxFramesPerRun(spec.MaxFramesPerRun))
 	}
-	if spec.Workers > 1 {
+	// One knob for every engine: WithWorkers flows to the study's parallel
+	// engine and — via part inheritance — to fleet and adversary pools.
+	if spec.Workers > 0 {
 		opts = append(opts, v6lab.WithWorkers(spec.Workers))
 	}
 	lab := v6lab.New(opts...)
@@ -148,7 +150,6 @@ func runSpec(ctx context.Context, spec JobSpec, sink telemetry.Sink) (*Result, e
 		parts = []v6lab.RunPart{v6lab.FleetWith(fleet.Config{
 			Homes:           spec.FleetHomes,
 			Seed:            spec.FleetSeed,
-			Workers:         spec.Workers,
 			MaxFramesPerRun: spec.MaxFramesPerRun,
 		})}
 	case KindResilience:
@@ -158,7 +159,6 @@ func runSpec(ctx context.Context, spec JobSpec, sink telemetry.Sink) (*Result, e
 			Fleet: fleet.Config{
 				Homes:           spec.FleetHomes,
 				Seed:            spec.FleetSeed,
-				Workers:         spec.Workers,
 				MaxFramesPerRun: spec.MaxFramesPerRun,
 			},
 			CampaignSeed: spec.CampaignSeed,

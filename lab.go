@@ -101,6 +101,7 @@ type options struct {
 	workers     int
 	telemetry   *telemetry.Registry
 	progress    telemetry.Sink
+	env         *Env
 }
 
 // Option configures New.
@@ -134,14 +135,16 @@ func WithFaultProfile(p faults.Profile) Option {
 	return func(o *options) { o.fault = &p }
 }
 
-// WithWorkers runs the connectivity experiments, the analysis extraction,
-// and the resilience grid's profiles on a pool of up to n workers. Output
-// is byte-identical for every n: results merge in config order and pcap
-// timestamps are rebased onto the serial timeline (see the experiment
-// package). 0 or 1 means serial; n > 1 with an active fault profile falls
-// back to serial for the connectivity study (the fault path is
-// order-dependent) while the resilience grid still parallelizes across
-// profiles.
+// WithWorkers is the lab's single worker-count knob: it sizes the pool
+// for the connectivity experiments, the analysis extraction, the
+// resilience grid's profiles, and — unless their configs say otherwise —
+// the fleet and adversary parts. Output is byte-identical for every n:
+// results merge in config (or home-index) order and pcap timestamps are
+// rebased onto the serial timeline (see the experiment package). 0 or 1
+// means serial for the study engines and GOMAXPROCS for fleet/adversary
+// pools; n > 1 with an active fault profile falls back to serial for the
+// connectivity study (the fault path is order-dependent) while the
+// resilience grid still parallelizes across profiles.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
@@ -218,13 +221,20 @@ func New(opts ...Option) *Lab {
 // studyOptions reconstructs the (fault-free) study options the lab was
 // built with, for parts that build their own studies.
 func (l *Lab) studyOptions() experiment.StudyOptions {
-	return experiment.StudyOptions{
+	so := experiment.StudyOptions{
 		Devices:         l.opts.devices,
 		MaxFramesPerRun: l.opts.maxFrames,
 		Workers:         l.opts.workers,
 		Telemetry:       l.opts.telemetry,
 		Progress:        l.opts.progress,
 	}
+	// A device-restricted lab simulates a different population than the
+	// shared world holds, so it keeps a private one (see WithEnv).
+	if l.opts.env != nil && len(l.opts.devices) == 0 {
+		so.World = l.opts.env.world
+		so.Pool = l.opts.env.pool
+	}
+	return so
 }
 
 // runCtx is the context parts run under: RunContext's argument, or
@@ -319,8 +329,8 @@ func Fleet(n int) RunPart {
 }
 
 // FleetWith is Fleet with full control over the population. A config
-// without its own Telemetry or Progress inherits the lab's
-// WithTelemetry/WithProgress settings.
+// without its own Telemetry, Progress, or Workers inherits the lab's
+// WithTelemetry/WithProgress/WithWorkers settings.
 func FleetWith(cfg fleet.Config) RunPart {
 	return func(l *Lab) error {
 		if cfg.Telemetry == nil {
@@ -328,6 +338,9 @@ func FleetWith(cfg fleet.Config) RunPart {
 		}
 		if cfg.Progress == nil {
 			cfg.Progress = l.opts.progress
+		}
+		if cfg.Workers == 0 {
+			cfg.Workers = l.opts.workers
 		}
 		pop, err := fleet.RunContext(l.runCtx(), cfg)
 		if err != nil {
@@ -349,7 +362,8 @@ func Adversary(n int) RunPart {
 
 // AdversaryWith is Adversary with full control over the attack: fleet
 // shape, campaign seed, probe budget, worm parameters. A config without
-// its own Telemetry or Progress inherits the lab's settings.
+// its own Telemetry, Progress, or fleet Workers inherits the lab's
+// settings.
 func AdversaryWith(cfg adversary.Config) RunPart {
 	return func(l *Lab) error {
 		if cfg.Telemetry == nil {
@@ -357,6 +371,9 @@ func AdversaryWith(cfg adversary.Config) RunPart {
 		}
 		if cfg.Progress == nil {
 			cfg.Progress = l.opts.progress
+		}
+		if cfg.Fleet.Workers == 0 {
+			cfg.Fleet.Workers = l.opts.workers
 		}
 		rep, err := adversary.RunContext(l.runCtx(), cfg)
 		if err != nil {
