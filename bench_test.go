@@ -117,9 +117,9 @@ func BenchmarkResilience(b *testing.B) {
 	}
 }
 
-// BenchmarkObserve isolates the packet-analysis stage: re-extracting the
-// per-device observations from the largest experiment capture.
-func BenchmarkObserve(b *testing.B) {
+// benchBiggestCapture returns the largest experiment capture of the
+// shared bench lab — the analysis benches' common input.
+func benchBiggestCapture(b *testing.B) (*Lab, *experiment.RunResult) {
 	lab := benchSetup(b)
 	biggest := lab.Study.Results[0]
 	for _, r := range lab.Study.Results {
@@ -127,7 +127,17 @@ func BenchmarkObserve(b *testing.B) {
 			biggest = r
 		}
 	}
-	b.SetBytes(int64(captureBytes(biggest)))
+	return lab, biggest
+}
+
+// BenchmarkObserveBuffered isolates the batch analysis path: re-extracting
+// the per-device observations from the largest experiment capture (the
+// frames were already buffered; this replays them through the extraction
+// core).
+func BenchmarkObserveBuffered(b *testing.B) {
+	lab, biggest := benchBiggestCapture(b)
+	b.SetBytes(int64(biggest.Capture.Bytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		analysis.Observe(biggest.Config.ID, biggest.Config.Mode, biggest.Capture,
@@ -135,10 +145,21 @@ func BenchmarkObserve(b *testing.B) {
 	}
 }
 
-func captureBytes(r *experiment.RunResult) int {
-	n := 0
-	for _, rec := range r.Capture.Records {
-		n += len(rec.Data)
+// BenchmarkObserveStreaming measures the same extraction fed frame by
+// frame through the streaming Observer — the per-frame delivery-tap cost a
+// CaptureNone run pays instead of buffering. Same frames, same resulting
+// observations (TestStreamingEqualsBuffered), so the delta against
+// ObserveBuffered is pure path overhead.
+func BenchmarkObserveStreaming(b *testing.B) {
+	lab, biggest := benchBiggestCapture(b)
+	b.SetBytes(int64(biggest.Capture.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := analysis.NewObserver(biggest.Config.ID, biggest.Config.Mode, lab.Study.MACToDevice)
+		for _, rec := range biggest.Capture.Records {
+			o.Add(rec.Time, rec.Data)
+		}
+		o.Finalize(biggest.Functional)
 	}
-	return n
 }

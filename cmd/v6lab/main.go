@@ -5,7 +5,7 @@
 //
 //	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare]
 //	      [-fleet 100 -fleet-seed 1] [-resilience] [-fault lossy-wifi]
-//	      [-adversary 200 -campaign-seed 3]
+//	      [-adversary 200 -campaign-seed 3] [-capture full|none]
 //	      [-seed 1] [-workers 6] [-metrics metrics.json] [-progress]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-list]
 //
@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	campaignSeed := fs.Uint64("campaign-seed", 1, "adversary campaign seed; identical seeds reproduce the attack exactly")
 	resilience := fs.Bool("resilience", false, "re-run the connectivity grid under the impairment profiles and render the resilience artifact")
 	faultName := fs.String("fault", "", "run the whole lab under one impairment profile: clean|lossy-wifi|clamped-tunnel|flaky-dnsmasq")
+	capture := fs.String("capture", "", "frame-capture policy: full buffers every frame (default for the single-home study; required by -pcap-dir), none streams frames through the analysis observer without buffering (reports are byte-identical, memory stays flat)")
 	seed := fs.Uint64("seed", 1, "impairment seed for -fault and -resilience; identical seeds reproduce runs byte-for-byte")
 	devices := fs.String("devices", "", "comma-separated device names restricting the testbed (default: the full registry)")
 	parallel := fs.Int("parallel", 0, "deprecated alias for -workers")
@@ -152,6 +153,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		labOpts = append(labOpts, v6lab.WithFaultProfile(p))
+	}
+	switch strings.ToLower(*capture) {
+	case "", "full":
+		// Default: buffered captures (pcap artifacts stay available).
+	case "none":
+		if *pcapDir != "" {
+			fmt.Fprintln(stderr, "v6lab: -capture none retains no frames; it cannot be combined with -pcap-dir")
+			return 2
+		}
+		labOpts = append(labOpts, v6lab.WithCapture(v6lab.CaptureNone))
+	default:
+		fmt.Fprintf(stderr, "v6lab: unknown capture policy %q (want full|none)\n", *capture)
+		return 2
 	}
 	if *workers < 0 || *parallel < 0 {
 		fmt.Fprintf(stderr, "v6lab: -workers wants a non-negative worker count\n")
@@ -314,7 +328,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	for _, res := range lab.Study.Results {
-		fmt.Fprintf(stderr, "  %-22s %6d frames captured\n", res.Config.ID, res.Capture.Len())
+		fmt.Fprintf(stderr, "  %-22s %6d frames captured\n", res.Config.ID, res.Frames())
 	}
 	if *fwPolicy != "" {
 		fmt.Fprintln(stderr, "running the WAN-vantage firewall policy comparison...")

@@ -149,8 +149,11 @@ func campaignHome(cfg Config, hr *fleet.HomeResult, hd *HomeDiscovery, ports []u
 	st := experiment.NewStudyWith(experiment.StudyOptions{
 		World:           w,
 		MaxFramesPerRun: cfg.Fleet.MaxFramesPerRun,
-		Telemetry:       cfg.Telemetry,
-		Scratch:         scratch,
+		// The campaign scores probe answers, not frames: no capture, no
+		// analysis tap.
+		Capture:   experiment.CaptureNone,
+		Telemetry: cfg.Telemetry,
+		Scratch:   scratch,
 	})
 	began := st.Clock.Now()
 

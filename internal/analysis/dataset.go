@@ -6,11 +6,35 @@ import (
 	"v6lab/internal/experiment"
 )
 
+// Streaming returns the observer factory experiment studies plug into
+// StudyOptions.Observe: one streaming Observer per run, feeding this
+// package's extraction core at frame-delivery time (CaptureNone runs).
+func Streaming() experiment.ObserverFactory {
+	return func(cfg experiment.Config, st *experiment.Study) experiment.Observer {
+		return NewObserver(cfg.ID, cfg.Mode, st.MACToDevice)
+	}
+}
+
+// observationsFor returns one experiment's finished observations: the
+// already-streamed observer's (finalized in place), or a fresh batch
+// extraction over the buffered capture. Both paths run the same core.
+func observationsFor(st *experiment.Study, res *experiment.RunResult) *ExpObs {
+	if res.Capture != nil {
+		return Observe(res.Config.ID, res.Config.Mode, res.Capture, st.MACToDevice, res.Functional)
+	}
+	if o, ok := res.Observed.(*Observer); ok {
+		return o.Finalize(res.Functional)
+	}
+	panic("analysis: run has neither a capture nor a streaming Observer")
+}
+
 // FromStudy runs the extraction over every experiment a Study produced and
-// assembles the Dataset the table derivations consume. Each capture is
-// parsed exactly once; when the study's Workers allow it, the per-capture
-// extractions run concurrently (they are independent) and land in the
-// dataset in experiment order, so the result never depends on scheduling.
+// assembles the Dataset the table derivations consume. Each frame is
+// parsed exactly once — at delivery for streaming (CaptureNone) runs, or
+// here over the buffered capture; when the study's Workers allow it, the
+// per-capture extractions run concurrently (they are independent) and land
+// in the dataset in experiment order, so the result never depends on
+// scheduling.
 func FromStudy(st *experiment.Study) *Dataset {
 	ds := &Dataset{
 		Profiles:   st.Profiles,
@@ -24,7 +48,7 @@ func FromStudy(st *experiment.Study) *Dataset {
 	}
 	if workers <= 1 {
 		for i, res := range st.Results {
-			ds.Exps[i] = Observe(res.Config.ID, res.Config.Mode, res.Capture, st.MACToDevice, res.Functional)
+			ds.Exps[i] = observationsFor(st, res)
 		}
 	} else {
 		jobs := make(chan int)
@@ -34,8 +58,7 @@ func FromStudy(st *experiment.Study) *Dataset {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					res := st.Results[i]
-					ds.Exps[i] = Observe(res.Config.ID, res.Config.Mode, res.Capture, st.MACToDevice, res.Functional)
+					ds.Exps[i] = observationsFor(st, st.Results[i])
 				}
 			}()
 		}

@@ -9,6 +9,7 @@ package analysis
 import (
 	"net/netip"
 	"strings"
+	"time"
 
 	"v6lab/internal/addr"
 	"v6lab/internal/cloud"
@@ -21,6 +22,10 @@ import (
 	"v6lab/internal/router"
 	"v6lab/internal/tlssim"
 )
+
+// v4Broadcast is the limited-broadcast address, hoisted so the data-frame
+// classifier does not re-parse a constant per frame.
+var v4Broadcast = netip.MustParseAddr("255.255.255.255")
 
 // QueryKey identifies a distinct DNS question as the paper counts them.
 type QueryKey struct {
@@ -79,6 +84,21 @@ type DeviceObs struct {
 	// source address was exposed to.
 	EUI64DNSNames    map[string]bool
 	EUI64DataDomains map[string]bool
+
+	// Deferred attribution state: Internet destinations contacted before
+	// the DNS/SNI mapping is complete. Attribution only labels flows — it
+	// never changes which frames count — so parking the destination and
+	// resolving it against the final IPToName map at Finalize reproduces
+	// the two-pass result exactly. Cleared by Finalize.
+	pendingFlows map[pendingFlow]bool
+	pendingEUI64 map[netip.Addr]bool
+}
+
+// pendingFlow is an unattributed Internet contact: the destination address
+// and the family it was reached over.
+type pendingFlow struct {
+	Dst netip.Addr
+	V6  bool
 }
 
 func newDeviceObs(p *device.Profile, mac packet.MAC) *DeviceObs {
@@ -92,6 +112,8 @@ func newDeviceObs(p *device.Profile, mac packet.MAC) *DeviceObs {
 		InternetFlows:    map[FlowKey]bool{},
 		EUI64DNSNames:    map[string]bool{},
 		EUI64DataDomains: map[string]bool{},
+		pendingFlows:     map[pendingFlow]bool{},
+		pendingEUI64:     map[netip.Addr]bool{},
 	}
 }
 
@@ -124,78 +146,139 @@ func (o *DeviceObs) markUsed(a netip.Addr, mac packet.MAC) {
 	}
 }
 
-// Observe runs the extraction over one experiment's capture. Each record
-// is parsed exactly once; both passes walk the parsed packets.
-func Observe(id string, mode device.Mode, cap *pcapio.Capture, macMap map[packet.MAC]*device.Profile, functional map[string]bool) *ExpObs {
-	obs := &ExpObs{
-		ID: id, Mode: mode,
-		Devices:    map[string]*DeviceObs{},
-		Functional: functional,
-		IPToName:   map[netip.Addr]string{},
-	}
-	devFor := func(mac packet.MAC) *DeviceObs {
-		p, ok := macMap[mac]
-		if !ok {
-			return nil
-		}
-		d, ok := obs.Devices[p.Name]
-		if !ok {
-			d = newDeviceObs(p, mac)
-			obs.Devices[p.Name] = d
-		}
-		return d
-	}
+// Observer is the streaming extraction engine: it consumes frames one at
+// a time — at switch-delivery time through the netsim.Tap interface, or
+// replayed from a buffered capture by Observe — parses each frame exactly
+// once through its private decoder, and accumulates the per-device
+// observations online. DNS/SNI attribution is deferred: Internet contacts
+// made before the name mapping is complete are parked per device and
+// resolved against the final IPToName map at Finalize, which reproduces
+// the two-pass semantics exactly (attribution only labels flows, it never
+// filters them; see DESIGN.md).
+//
+// An Observer is single-threaded, like the run it taps. It retains no
+// frame bytes — only extracted values — so it is safe to feed arena-backed
+// frames that are recycled after the run.
+type Observer struct {
+	obs    *ExpObs
+	dec    *packet.Decoder
+	macMap map[packet.MAC]*device.Profile
+	frames int
+	final  bool
+}
 
-	// Each pass re-parses the capture through one reusable decoder instead
-	// of materializing every parsed packet up front: the retained packet
-	// slice was the analysis pipeline's dominant allocation, and nothing
-	// extracted below outlives the record it came from.
-	dec := packet.NewDecoder()
+// NewObserver returns a streaming observer for one experiment run.
+func NewObserver(id string, mode device.Mode, macMap map[packet.MAC]*device.Profile) *Observer {
+	return &Observer{
+		obs: &ExpObs{
+			ID: id, Mode: mode,
+			Devices:  map[string]*DeviceObs{},
+			IPToName: map[netip.Addr]string{},
+		},
+		dec:    packet.NewDecoder(),
+		macMap: macMap,
+	}
+}
 
-	// Pass 1: collect the IP->name mapping from DNS answers and TLS SNI,
-	// exactly the two attribution sources §5.2.2 names.
-	for _, rec := range cap.Records {
-		p := dec.Parse(rec.Data)
-		if p.Err != nil {
-			continue
-		}
-		if p.UDP != nil && p.UDP.SrcPort == 53 {
-			if m, err := dnsmsg.Unpack(p.UDP.PayloadData); err == nil && m.Response {
-				for _, rr := range m.Answers {
-					if rr.Addr.IsValid() {
-						obs.IPToName[rr.Addr] = dnsmsg.CanonicalName(rr.Name)
-					}
+func (o *Observer) devFor(mac packet.MAC) *DeviceObs {
+	p, ok := o.macMap[mac]
+	if !ok {
+		return nil
+	}
+	d, ok := o.obs.Devices[p.Name]
+	if !ok {
+		d = newDeviceObs(p, mac)
+		o.obs.Devices[p.Name] = d
+	}
+	return d
+}
+
+// Frames reports how many frames the observer has consumed.
+func (o *Observer) Frames() int { return o.frames }
+
+// Add consumes one delivered frame (the netsim.Tap contract). The frame
+// is parsed once; the timestamp is unused — analysis never reads capture
+// times — but kept for Tap compatibility.
+func (o *Observer) Add(_ time.Time, frame []byte) {
+	o.frames++
+	p := o.dec.Parse(frame)
+	if p.Err != nil || p.Ethernet == nil {
+		return
+	}
+	obs := o.obs
+
+	// Attribution sources, exactly the two §5.2.2 names: DNS answers and
+	// TLS SNI. The DNS message is unpacked once and shared with the
+	// inbound response extraction below.
+	var dnsAnswer *dnsmsg.Message
+	if p.UDP != nil && p.UDP.SrcPort == 53 {
+		if m, err := dnsmsg.Unpack(p.UDP.PayloadData); err == nil && m.Response {
+			for _, rr := range m.Answers {
+				if rr.Addr.IsValid() {
+					obs.IPToName[rr.Addr] = dnsmsg.CanonicalName(rr.Name)
 				}
 			}
+			dnsAnswer = m
 		}
-		if p.TCP != nil && len(p.TCP.PayloadData) > 0 {
-			if sni, err := tlssim.SNI(p.TCP.PayloadData); err == nil && sni != "" {
-				obs.IPToName[p.DstIP()] = dnsmsg.CanonicalName(sni)
-			}
+	}
+	if p.TCP != nil && len(p.TCP.PayloadData) > 0 {
+		if sni, err := tlssim.SNI(p.TCP.PayloadData); err == nil && sni != "" {
+			obs.IPToName[p.DstIP()] = dnsmsg.CanonicalName(sni)
 		}
 	}
 
-	// Pass 2: per-device feature extraction.
-	for _, rec := range cap.Records {
-		p := dec.Parse(rec.Data)
-		if p.Err != nil || p.Ethernet == nil {
-			continue
+	// Per-device feature extraction.
+	if d := o.devFor(p.Ethernet.Src); d != nil {
+		observeOutbound(d, p)
+	}
+	// Inbound: DNS responses and DHCPv6 replies addressed to devices.
+	if dst := o.devFor(p.Ethernet.Dst); dst != nil {
+		observeInbound(dst, p, dnsAnswer)
+	}
+}
+
+// Finalize resolves the deferred attribution against the completed
+// IPToName map, attaches the functionality outcomes, and returns the
+// finished observations. Call it after the last Add; repeated calls
+// return the same finished observations (FromStudy may assemble several
+// datasets over one study), and further Adds are a caller bug.
+func (o *Observer) Finalize(functional map[string]bool) *ExpObs {
+	if o.final {
+		return o.obs
+	}
+	o.final = true
+	obs := o.obs
+	obs.Functional = functional
+	for _, d := range obs.Devices {
+		for pf := range d.pendingFlows {
+			if name := obs.IPToName[pf.Dst]; name != "" {
+				d.InternetFlows[FlowKey{Domain: name, V6: pf.V6}] = true
+			}
 		}
-		d := devFor(p.Ethernet.Src)
-		if d != nil {
-			observeOutbound(obs, d, p)
+		for a := range d.pendingEUI64 {
+			if name := obs.IPToName[a]; name != "" {
+				d.EUI64DataDomains[name] = true
+			}
 		}
-		// Inbound: DNS responses and DHCPv6 replies addressed to devices.
-		if dst := devFor(p.Ethernet.Dst); dst != nil {
-			observeInbound(obs, dst, p)
-		}
+		d.pendingFlows, d.pendingEUI64 = nil, nil
 	}
 	return obs
 }
 
-func observeOutbound(obs *ExpObs, d *DeviceObs, p *packet.Packet) {
+// Observe runs the extraction over one experiment's buffered capture by
+// replaying it through a streaming Observer: the batch and streaming
+// paths share one extraction core, so they are equal by construction.
+func Observe(id string, mode device.Mode, cap *pcapio.Capture, macMap map[packet.MAC]*device.Profile, functional map[string]bool) *ExpObs {
+	o := NewObserver(id, mode, macMap)
+	for _, rec := range cap.Records {
+		o.Add(rec.Time, rec.Data)
+	}
+	return o.Finalize(functional)
+}
+
+func observeOutbound(d *DeviceObs, p *packet.Packet) {
 	if p.IPv6 == nil {
-		observeOutboundV4(obs, d, p)
+		observeOutboundV4(d, p)
 		return
 	}
 	src := p.IPv6.Src
@@ -243,11 +326,11 @@ func observeOutbound(obs *ExpObs, d *DeviceObs, p *packet.Packet) {
 	case p.UDP != nil && p.UDP.DstPort == 53:
 		observeQuery(d, p, true, src)
 	default:
-		observeData(obs, d, p, true, src)
+		observeData(d, p, true, src)
 	}
 }
 
-func observeOutboundV4(obs *ExpObs, d *DeviceObs, p *packet.Packet) {
+func observeOutboundV4(d *DeviceObs, p *packet.Packet) {
 	if p.IPv4 == nil {
 		return
 	}
@@ -257,7 +340,7 @@ func observeOutboundV4(obs *ExpObs, d *DeviceObs, p *packet.Packet) {
 		observeQuery(d, p, false, p.IPv4.Src)
 	case p.ICMPv4 != nil:
 	default:
-		observeData(obs, d, p, false, p.IPv4.Src)
+		observeData(d, p, false, p.IPv4.Src)
 	}
 }
 
@@ -275,7 +358,9 @@ func observeQuery(d *DeviceObs, p *packet.Packet, overV6 bool, src netip.Addr) {
 }
 
 // observeData classifies a non-DNS, non-DHCP TCP/UDP transmission.
-func observeData(obs *ExpObs, d *DeviceObs, p *packet.Packet, v6 bool, src netip.Addr) {
+// Destination-name attribution is deferred: the destination is parked on
+// the device and resolved against the completed IPToName map at Finalize.
+func observeData(d *DeviceObs, p *packet.Packet, v6 bool, src netip.Addr) {
 	if p.TCP == nil && p.UDP == nil {
 		return
 	}
@@ -291,15 +376,10 @@ func observeData(obs *ExpObs, d *DeviceObs, p *packet.Packet, v6 bool, src netip
 			}
 			d.InternetV6 = true
 			d.BytesV6 += payload
-			name := obs.IPToName[dst]
-			if name != "" {
-				d.InternetFlows[FlowKey{Domain: name, V6: true}] = true
-			}
+			d.pendingFlows[pendingFlow{Dst: dst, V6: true}] = true
 			if addr.EUI64MatchesMAC(src, d.MAC) {
 				d.EUI64Data = true
-				if name != "" {
-					d.EUI64DataDomains[name] = true
-				}
+				d.pendingEUI64[dst] = true
 			}
 		case addr.KindULA, addr.KindLLA, addr.KindMulticast:
 			d.LocalV6Data = true
@@ -309,22 +389,24 @@ func observeData(obs *ExpObs, d *DeviceObs, p *packet.Packet, v6 bool, src netip
 	// IPv4: anything outside the LAN (and not broadcast/multicast) is
 	// Internet traffic.
 	if dst.Is4() && !router.LANv4Prefix.Contains(dst) && !dst.IsMulticast() &&
-		dst != netip.MustParseAddr("255.255.255.255") {
+		dst != v4Broadcast {
 		d.InternetV4 = true
 		d.BytesV4 += payload
-		if name := obs.IPToName[dst]; name != "" {
-			d.InternetFlows[FlowKey{Domain: name, V6: false}] = true
-		}
+		d.pendingFlows[pendingFlow{Dst: dst, V6: false}] = true
 	}
 }
 
-func observeInbound(obs *ExpObs, d *DeviceObs, p *packet.Packet) {
+// observeInbound extracts device-addressed DNS responses and DHCPv6
+// replies. dns is the frame's already-unpacked DNS answer (nil when the
+// frame is not a valid response from port 53), shared with the attribution
+// pass so the message is decoded exactly once per frame.
+func observeInbound(d *DeviceObs, p *packet.Packet, dns *dnsmsg.Message) {
 	switch {
 	case p.UDP != nil && p.UDP.SrcPort == 53:
-		m, err := dnsmsg.Unpack(p.UDP.PayloadData)
-		if err != nil || !m.Response || len(m.Questions) == 0 {
+		if dns == nil || len(dns.Questions) == 0 {
 			return
 		}
+		m := *dns
 		q := m.Questions[0]
 		positive := false
 		for _, rr := range m.Answers {

@@ -100,6 +100,8 @@ func (st *Study) acquireEnv(base time.Time) *Study {
 	if st.pool != nil {
 		if env := st.pool.get(st.World); env != nil {
 			env.MaxFramesPerRun = st.MaxFramesPerRun
+			env.Capture = st.Capture
+			env.Observe = st.Observe
 			env.Telemetry = st.Telemetry
 			env.Progress = st.Progress
 			env.tm = st.tm

@@ -90,11 +90,51 @@ func ConfigByID(id string) (Config, bool) {
 	return Configs[i], true
 }
 
+// CapturePolicy selects whether an experiment buffers its frames into a
+// pcap Capture or streams them straight into an analysis observer.
+type CapturePolicy int
+
+const (
+	// CaptureDefault resolves to a caller-appropriate policy: the run
+	// engine treats it as CaptureFull (the pre-policy behavior, keeping
+	// zero-value StudyOptions byte-identical), while aggregate-only
+	// drivers — the fleet, the resilience grid — resolve it to
+	// CaptureNone before building their studies.
+	CaptureDefault CapturePolicy = iota
+	// CaptureFull buffers every delivered frame into a pcapio.Capture
+	// (the tcpdump-equivalent record pcap artifacts are written from).
+	CaptureFull
+	// CaptureNone materializes no Capture at all: frames are parsed once
+	// at delivery by the study's streaming Observer and the bytes are
+	// never retained. Requires an ObserverFactory.
+	CaptureNone
+)
+
+// Observer is the experiment-facing half of a streaming analysis sink: a
+// delivery tap that also reports how many frames it consumed. The
+// analysis package owns the concrete type (and its Finalize); experiment
+// only wires it onto the switch, which keeps the import direction
+// analysis → experiment.
+type Observer interface {
+	netsim.Tap
+	Frames() int
+}
+
+// ObserverFactory builds one streaming Observer per experiment run.
+// Factories must return observers that are independent across calls: each
+// run gets its own (runs on different workers are concurrent).
+type ObserverFactory func(cfg Config, st *Study) Observer
+
 // RunResult captures everything one experiment produced.
 type RunResult struct {
 	Config Config
-	// Capture is the tcpdump-equivalent record of every LAN frame.
+	// Capture is the tcpdump-equivalent record of every LAN frame; nil
+	// when the study ran CaptureNone.
 	Capture *pcapio.Capture
+	// Observed is the streaming observer that consumed the run's frames
+	// under CaptureNone (nil on the buffered path). It is an opaque
+	// handle here; the analysis package finalizes it.
+	Observed Observer
 	// Functional maps device name to the outcome of its functionality
 	// test in this experiment.
 	Functional map[string]bool
@@ -117,6 +157,19 @@ type RunResult struct {
 	// ServiceDrops counts router service messages (RA / DHCPv6 / DNS
 	// replies) the fault schedule suppressed.
 	ServiceDrops int
+}
+
+// Frames reports how many frames the run recorded for analysis: the
+// buffered capture's length, or the streaming observer's count, or (with
+// neither attached) the raw delivery count.
+func (r *RunResult) Frames() int {
+	switch {
+	case r.Capture != nil:
+		return r.Capture.Len()
+	case r.Observed != nil:
+		return r.Observed.Frames()
+	}
+	return r.FramesDelivered
 }
 
 // AAAAResult records the active DNS experiment's verdict for one domain.
@@ -151,6 +204,17 @@ type Study struct {
 
 	// MaxFramesPerRun bounds each experiment's frame deliveries.
 	MaxFramesPerRun int
+
+	// Capture selects frame buffering per run; CaptureDefault behaves as
+	// CaptureFull here. CaptureNone runs feed the Observe factory's
+	// streaming sink instead — or, with no factory, attach no analysis
+	// tap at all (aggregate-only runs).
+	Capture CapturePolicy
+	// Observe, when non-nil, builds the streaming analysis sink each
+	// CaptureNone run feeds at delivery time. Ignored on buffered runs
+	// (the capture is the analysis source there; attaching both would
+	// parse every frame twice for nothing).
+	Observe ObserverFactory
 
 	// Workers bounds the worker pool the connectivity experiments (and the
 	// analysis extraction) run on. 0 or 1 means serial. See parallel.go for
@@ -225,6 +289,13 @@ type StudyOptions struct {
 	// experiment the study runs. Inactive profiles (see faults.Profile)
 	// are ignored; nil means a perfect network.
 	Faults *faults.Profile
+	// Capture selects frame buffering per run. The zero value
+	// (CaptureDefault) keeps the buffered pre-policy behavior here;
+	// aggregate-only drivers resolve it to CaptureNone themselves.
+	Capture CapturePolicy
+	// Observe builds the streaming analysis sink for CaptureNone runs;
+	// see Study.Observe.
+	Observe ObserverFactory
 	// Workers bounds the pool the six connectivity experiments run on;
 	// 0 or 1 means the serial engine. Results are byte-identical either
 	// way (parallel.go).
@@ -275,6 +346,8 @@ func NewStudyWith(opts StudyOptions) *Study {
 		MACToDevice:     w.MACToDevice,
 		ActiveDNS:       map[string]AAAAResult{},
 		MaxFramesPerRun: maxFrames,
+		Capture:         opts.Capture,
+		Observe:         opts.Observe,
 		Workers:         opts.Workers,
 		Telemetry:       opts.Telemetry,
 		Progress:        opts.Progress,
@@ -361,8 +434,23 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 	} else {
 		net.SetMetrics(nil)
 	}
-	cap := &pcapio.Capture{}
-	net.AddTap(cap)
+	// At most one analysis tap per run: the buffered capture (default) or
+	// the streaming observer — never both, so every frame is recorded or
+	// parsed for analysis exactly once. CaptureNone without an observer
+	// attaches nothing: aggregate-only callers (the resilience grid, the
+	// adversary campaign) read stack and router state, not frames, and
+	// skip the per-frame tap cost entirely.
+	var cap *pcapio.Capture
+	var obs Observer
+	if st.Capture == CaptureNone {
+		if st.Observe != nil {
+			obs = st.Observe(cfg, st)
+			net.AddTap(obs)
+		}
+	} else {
+		cap = &pcapio.Capture{}
+		net.AddTap(cap)
+	}
 
 	rt := router.New(cfg.Router, st.Cloud)
 	rt.Attach(net)
@@ -417,6 +505,7 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 	res := &RunResult{
 		Config:          cfg,
 		Capture:         cap,
+		Observed:        obs,
 		Functional:      map[string]bool{},
 		Neighbors:       rt.Neighbors,
 		Leases4:         map[packet.MAC]netip.Addr{},
@@ -441,6 +530,15 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 	elapsed := st.Clock.Now().Sub(began)
 	if st.tm != nil {
 		st.tm.foldRun(cfg, rt, st.Stacks, elapsed)
+		// Capture-path accounting: atomic adds, so the fold is identical
+		// across engines and worker counts.
+		if cap != nil {
+			st.tm.framesBuffered.Add(uint64(cap.Len()))
+			st.tm.captureBytes.Add(int64(cap.Bytes()))
+		}
+		if obs != nil {
+			st.tm.framesStreamed.Add(uint64(obs.Frames()))
+		}
 	}
 	functional := 0
 	for _, ok := range res.Functional {
@@ -451,7 +549,7 @@ func (st *Study) RunExperiment(cfg Config) (*RunResult, error) {
 	telemetry.Emit(st.Progress, telemetry.Event{
 		Scope:   "experiment",
 		ID:      cfg.ID,
-		Detail:  fmt.Sprintf("%d/%d devices functional, %d frames", functional, len(st.Stacks), res.Capture.Len()),
+		Detail:  fmt.Sprintf("%d/%d devices functional, %d frames", functional, len(st.Stacks), res.Frames()),
 		Elapsed: elapsed,
 	})
 	st.Clock.Advance(time.Hour)

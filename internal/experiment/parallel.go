@@ -104,9 +104,13 @@ func (st *Study) runConnectivityParallel(ctx context.Context, workers int) error
 		out := outcomes[i]
 		// Rebase this capture from the common base onto the serial
 		// timeline: everything experiments 0..i-1 consumed comes first.
-		recs := out.res.Capture.Records
-		for j := range recs {
-			recs[j].Time = recs[j].Time.Add(offset)
+		// Streaming runs have nothing to rebase — analysis never reads
+		// record times, only pcap artifacts do, and those need a capture.
+		if c := out.res.Capture; c != nil {
+			recs := c.Records
+			for j := range recs {
+				recs[j].Time = recs[j].Time.Add(offset)
+			}
 		}
 		offset += out.elapsed
 		st.Results = append(st.Results, out.res)
@@ -136,6 +140,8 @@ func (st *Study) isolatedEnv(base time.Time) *Study {
 		Clock:           netsim.NewClock(base),
 		MACToDevice:     w.MACToDevice,
 		MaxFramesPerRun: st.MaxFramesPerRun,
+		Capture:         st.Capture,
+		Observe:         st.Observe,
 		scratch:         NewScratch(),
 		// The environments share the parent's instruments and sink:
 		// counter folds are atomic additions (order-independent), and

@@ -83,6 +83,13 @@ func RunResilienceContext(ctx context.Context, opts StudyOptions, profiles ...fa
 	if len(profiles) == 0 {
 		profiles = faults.Grid()
 	}
+	// The grid reads stack and router state (failure stages, drop and
+	// retransmit counters), never frames, so the default capture policy
+	// here is none: no Capture is materialized and no analysis tap runs.
+	// Callers that do want buffered runs pass CaptureFull explicitly.
+	if opts.Capture == CaptureDefault {
+		opts.Capture = CaptureNone
+	}
 	// One immutable world for the whole grid: every profile's study shares
 	// the population, plans, and primed cloud registry, rebuilding only
 	// its own stacks.

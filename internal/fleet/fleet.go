@@ -64,6 +64,12 @@ type Config struct {
 	// MaxFramesPerRun bounds each home experiment's frame deliveries;
 	// 0 means the study default.
 	MaxFramesPerRun int
+	// Capture selects per-home frame buffering. The fleet only needs
+	// aggregates, so the default (CaptureDefault) resolves to CaptureNone:
+	// each home's frames stream through an analysis Observer at delivery
+	// and are never buffered. Set CaptureFull to restore the buffered
+	// batch path (e.g. when debugging a home's traffic).
+	Capture experiment.CapturePolicy
 	// SkipExposure disables the per-home WAN-vantage inbound scan.
 	SkipExposure bool
 	// RetainWorlds keeps each home's immutable world on its HomeResult, so
@@ -130,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Policies == nil {
 		c.Policies = DefaultPolicies
+	}
+	if c.Capture == experiment.CaptureDefault {
+		c.Capture = experiment.CaptureNone
 	}
 	return c
 }
@@ -270,7 +279,8 @@ type HomeResult struct {
 	EUI64Assign int
 	EUI64Use    int
 
-	// FramesCaptured is the home run's capture length.
+	// FramesCaptured is the home run's analysis frame count (streamed or
+	// buffered — the two paths see the same delivered frames).
 	FramesCaptured int
 
 	// Elapsed is the simulated time the home's runs consumed.
@@ -302,6 +312,8 @@ func runHome(cfg Config, reg []*device.Profile, spec HomeSpec, scratch *experime
 	st := experiment.NewStudyWith(experiment.StudyOptions{
 		World:           w,
 		MaxFramesPerRun: cfg.MaxFramesPerRun,
+		Capture:         cfg.Capture,
+		Observe:         analysis.Streaming(),
 		Telemetry:       cfg.Telemetry,
 		Scratch:         scratch,
 	})
@@ -317,7 +329,7 @@ func runHome(cfg Config, reg []*device.Profile, spec HomeSpec, scratch *experime
 	st.Results = append(st.Results, res)
 	ds := analysis.FromStudy(st)
 
-	hr := &HomeResult{Spec: spec, Devices: len(profiles), FramesCaptured: res.Capture.Len()}
+	hr := &HomeResult{Spec: spec, Devices: len(profiles), FramesCaptured: res.Frames()}
 	obs := ds.Exps[0]
 	overV6 := true
 	for _, p := range st.Profiles {

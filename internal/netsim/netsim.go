@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"v6lab/internal/packet"
-	"v6lab/internal/pcapio"
 	"v6lab/internal/telemetry"
 )
 
@@ -39,6 +38,16 @@ func (c *Clock) Advance(d time.Duration) {
 // Reset rewinds the clock to the given instant, for pooled environments
 // that restart runs from a common base time.
 func (c *Clock) Reset(t time.Time) { c.now = t }
+
+// Tap consumes every frame the switch delivers, in delivery order. A
+// pcapio.Capture is the buffering implementation (record every frame for
+// later re-parsing); the analysis package's streaming Observer is the
+// incremental one (parse at delivery, retain only extracted values). Tap
+// implementations must not retain data past the call: the bytes live in
+// the switch's frame arena and are recycled on Reset.
+type Tap interface {
+	Add(t time.Time, data []byte)
+}
 
 // Host is anything attached to the network that can receive frames.
 type Host interface {
@@ -91,7 +100,7 @@ func (p *Port) Send(frame []byte) { p.net.enqueue(p.index, frame) }
 type Network struct {
 	Clock *Clock
 	ports []*Port
-	taps  []*pcapio.Capture
+	taps  []Tap
 	// queue[qhead:] holds the pending frames; draining advances qhead
 	// instead of re-slicing so the backing array survives Reset.
 	queue []queued
@@ -197,8 +206,8 @@ func (n *Network) Reset(clock *Clock) {
 	}
 }
 
-// AddTap registers a capture sink that records every frame on the wire.
-func (n *Network) AddTap(c *pcapio.Capture) { n.taps = append(n.taps, c) }
+// AddTap registers a sink that sees every frame on the wire.
+func (n *Network) AddTap(tap Tap) { n.taps = append(n.taps, tap) }
 
 // Delivered reports the total number of frames delivered so far.
 func (n *Network) Delivered() int { return n.delivered }

@@ -224,6 +224,8 @@ type Capture struct {
 	// allocation per chunk instead of one per frame. Chunks are retained
 	// until Reset, so Record.Data slices stay stable until then.
 	arena arena
+	// bytes is the running sum of record data lengths (see Bytes).
+	bytes int
 }
 
 // arena is a minimal bump allocator (pcapio stays stdlib-only, so it does
@@ -265,10 +267,15 @@ func (a *arena) reset() {
 // may reuse their buffers.
 func (c *Capture) Add(t time.Time, data []byte) {
 	c.Records = append(c.Records, Record{Time: t, Data: c.arena.copyIn(data)})
+	c.bytes += len(data)
 }
 
 // Len returns the number of captured frames.
 func (c *Capture) Len() int { return len(c.Records) }
+
+// Bytes returns the total frame bytes the capture currently retains (the
+// sum of record data lengths, maintained incrementally).
+func (c *Capture) Bytes() int { return c.bytes }
 
 // Reset empties the capture while keeping the record slice's and arena's
 // capacity, so a pooled capture adds frames without allocating. Every
@@ -278,6 +285,7 @@ func (c *Capture) Len() int { return len(c.Records) }
 func (c *Capture) Reset() {
 	c.Records = c.Records[:0]
 	c.arena.reset()
+	c.bytes = 0
 }
 
 // Save writes the capture to a pcap file.

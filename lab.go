@@ -99,10 +99,24 @@ type options struct {
 	maxFrames   int
 	fault       *faults.Profile
 	workers     int
+	capture     CapturePolicy
 	telemetry   *telemetry.Registry
 	progress    telemetry.Sink
 	env         *Env
 }
+
+// CapturePolicy selects whether the lab's experiments buffer their frames
+// (see WithCapture); re-exported from the experiment package.
+type CapturePolicy = experiment.CapturePolicy
+
+// The capture policies. CaptureDefault is the zero value and keeps each
+// driver's natural behavior: buffered for the lab's connectivity study
+// (pcap artifacts, recorded hashes), streaming for fleet and resilience.
+const (
+	CaptureDefault = experiment.CaptureDefault
+	CaptureFull    = experiment.CaptureFull
+	CaptureNone    = experiment.CaptureNone
+)
 
 // Option configures New.
 type Option func(*options)
@@ -147,6 +161,17 @@ func WithFaultProfile(p faults.Profile) Option {
 // resilience grid still parallelizes across profiles.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithCapture selects the lab's frame-capture policy. The default
+// (CaptureFull) buffers every experiment's frames into an in-memory
+// capture — the source for SavePcaps and the recorded pcap hashes.
+// CaptureNone skips buffering entirely: each frame is parsed exactly once
+// at delivery by a streaming analysis observer, reports stay byte-identical
+// (asserted by TestStreamingEqualsBuffered), memory stays flat, and
+// SavePcaps returns an error since there is nothing to write.
+func WithCapture(p CapturePolicy) Option {
+	return func(o *options) { o.capture = p }
 }
 
 // WithTelemetry instruments every subsystem the lab touches — the L2
@@ -224,9 +249,13 @@ func (l *Lab) studyOptions() experiment.StudyOptions {
 	so := experiment.StudyOptions{
 		Devices:         l.opts.devices,
 		MaxFramesPerRun: l.opts.maxFrames,
-		Workers:         l.opts.workers,
-		Telemetry:       l.opts.telemetry,
-		Progress:        l.opts.progress,
+		Capture:         l.opts.capture,
+		// The factory is inert on buffered runs; under CaptureNone it is
+		// what feeds the analysis pipeline.
+		Observe:   analysis.Streaming(),
+		Workers:   l.opts.workers,
+		Telemetry: l.opts.telemetry,
+		Progress:  l.opts.progress,
 	}
 	// A device-restricted lab simulates a different population than the
 	// shared world holds, so it keeps a private one (see WithEnv).
@@ -342,6 +371,12 @@ func FleetWith(cfg fleet.Config) RunPart {
 		if cfg.Workers == 0 {
 			cfg.Workers = l.opts.workers
 		}
+		if cfg.Capture == experiment.CaptureDefault {
+			// Inherit an explicit WithCapture choice; a still-default
+			// policy resolves to CaptureNone in the fleet (aggregates
+			// only, frames streamed — never buffered).
+			cfg.Capture = l.opts.capture
+		}
 		pop, err := fleet.RunContext(l.runCtx(), cfg)
 		if err != nil {
 			return err
@@ -401,7 +436,11 @@ func Resilience(profiles ...faults.Profile) RunPart {
 			}
 			seeded[i] = p
 		}
-		rep, err := experiment.RunResilienceContext(l.runCtx(), l.studyOptions(), seeded...)
+		so := l.studyOptions()
+		// The grid reads stack and router aggregates, never frames: no
+		// observer, and (unless WithCapture says otherwise) no capture.
+		so.Observe = nil
+		rep, err := experiment.RunResilienceContext(l.runCtx(), so, seeded...)
 		if err != nil {
 			return err
 		}
@@ -521,11 +560,16 @@ func (l *Lab) ExportCSV(dir string) error {
 }
 
 // SavePcaps writes one pcap file per connectivity experiment into dir.
+// Labs built with WithCapture(CaptureNone) retain no frames and return an
+// error here.
 func (l *Lab) SavePcaps(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, res := range l.Study.Results {
+		if res.Capture == nil {
+			return fmt.Errorf("saving %s: lab ran without capture buffering (WithCapture(CaptureNone)); no frames retained", res.Config.ID)
+		}
 		path := filepath.Join(dir, res.Config.ID+".pcap")
 		if err := res.Capture.Save(path); err != nil {
 			return fmt.Errorf("saving %s: %w", path, err)

@@ -115,6 +115,49 @@ func TestTelemetryDeterminismStudy(t *testing.T) {
 	}
 }
 
+// TestTelemetryCapturePolicy: the analysis-path counters split cleanly by
+// capture policy — a buffered study streams nothing and retains capture
+// bytes, a streaming study buffers nothing and retains none — and the
+// streaming counters are themselves worker-count invariant.
+func TestTelemetryCapturePolicy(t *testing.T) {
+	run := func(workers int, p CapturePolicy) map[string]int64 {
+		reg := telemetry.NewRegistry()
+		lab := New(WithWorkers(workers), WithTelemetry(reg), WithCapture(p))
+		if err := lab.Run(); err != nil {
+			t.Fatal(err)
+		}
+		snap, _ := lab.TelemetrySnapshot()
+		vals := map[string]int64{}
+		for _, pt := range snap.Points {
+			vals[pt.Name] = pt.Value
+		}
+		return vals
+	}
+	buffered := run(1, CaptureFull)
+	if buffered["analysis_frames_buffered_total"] == 0 {
+		t.Error("buffered study recorded no buffered frames")
+	}
+	if buffered["analysis_frames_streamed_total"] != 0 {
+		t.Errorf("buffered study streamed %d frames, want 0", buffered["analysis_frames_streamed_total"])
+	}
+	if buffered["pcapio_capture_bytes_retained"] == 0 {
+		t.Error("buffered study retains no capture bytes")
+	}
+	streamed := run(1, CaptureNone)
+	if streamed["analysis_frames_streamed_total"] != buffered["analysis_frames_buffered_total"] {
+		t.Errorf("streamed %d frames, buffered run saw %d — same study must observe the same frames",
+			streamed["analysis_frames_streamed_total"], buffered["analysis_frames_buffered_total"])
+	}
+	if streamed["analysis_frames_buffered_total"] != 0 || streamed["pcapio_capture_bytes_retained"] != 0 {
+		t.Errorf("streaming study retained capture state: buffered=%d bytes=%d",
+			streamed["analysis_frames_buffered_total"], streamed["pcapio_capture_bytes_retained"])
+	}
+	if par := run(6, CaptureNone); par["analysis_frames_streamed_total"] != streamed["analysis_frames_streamed_total"] {
+		t.Errorf("frames_streamed_total differs across workers: 1→%d, 6→%d",
+			streamed["analysis_frames_streamed_total"], par["analysis_frames_streamed_total"])
+	}
+}
+
 // TestTelemetryDeterminismFleet: a 50-home fleet folds into a
 // byte-identical snapshot at one and six workers.
 func TestTelemetryDeterminismFleet(t *testing.T) {
