@@ -5,8 +5,9 @@
 //
 //	v6lab [-artifact table3] [-pcap-dir captures/] [-firewall compare]
 //	      [-fleet 100 -fleet-seed 1] [-resilience] [-fault lossy-wifi]
-//	      [-adversary 200 -campaign-seed 3] [-capture full|none]
-//	      [-seed 1] [-workers 6] [-metrics metrics.json] [-progress]
+//	      [-adversary 200 -campaign-seed 3] [-horizon 7d]
+//	      [-capture full|none] [-seed 1] [-workers 6]
+//	      [-metrics metrics.json] [-progress]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-list]
 //
 // -workers sizes every engine's worker pool (connectivity experiments,
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	adversaryN := fs.Int("adversary", 0, "attack a population of N homes: address discovery, campaign sweep, worm propagation; renders the adversary artifact")
 	campaignSeed := fs.Uint64("campaign-seed", 1, "adversary campaign seed; identical seeds reproduce the attack exactly")
 	resilience := fs.Bool("resilience", false, "re-run the connectivity grid under the impairment profiles and render the resilience artifact")
+	horizonStr := fs.String("horizon", "", "run the long-horizon timeline over this much simulated time (e.g. 7d, 2w, 36h) and render the timeline artifact; -fleet N sizes the population (default 100)")
 	faultName := fs.String("fault", "", "run the whole lab under one impairment profile: clean|lossy-wifi|clamped-tunnel|flaky-dnsmasq")
 	capture := fs.String("capture", "", "frame-capture policy: full buffers every frame (default for the single-home study; required by -pcap-dir), none streams frames through the analysis observer without buffering (reports are byte-identical, memory stays flat)")
 	seed := fs.Uint64("seed", 1, "impairment seed for -fault and -resilience; identical seeds reproduce runs byte-for-byte")
@@ -114,9 +116,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "v6lab: -fleet wants a positive home count, got %d\n", *fleetN)
 		return 2
 	}
-	if *fleetSeed != 1 && *fleetN == 0 && *adversaryN == 0 {
-		fmt.Fprintln(stderr, "v6lab: -fleet-seed only applies together with -fleet N or -adversary N")
+	if *fleetSeed != 1 && *fleetN == 0 && *adversaryN == 0 && *horizonStr == "" {
+		fmt.Fprintln(stderr, "v6lab: -fleet-seed only applies together with -fleet N, -adversary N, or -horizon")
 		return 2
+	}
+	var horizon v6lab.Horizon
+	if *horizonStr != "" {
+		h, err := v6lab.ParseHorizon(*horizonStr)
+		if err != nil {
+			fmt.Fprintf(stderr, "v6lab: -horizon: %s\n", strings.TrimPrefix(err.Error(), "v6lab: "))
+			return 2
+		}
+		horizon = h
 	}
 	if *adversaryN < 0 {
 		fmt.Fprintf(stderr, "v6lab: -adversary wants a positive home count, got %d\n", *adversaryN)
@@ -149,7 +160,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *faultName != "" {
 		p, err := faults.ByName(*faultName)
 		if err != nil {
-			fmt.Fprintf(stderr, "v6lab: %v\n", err)
+			var names []string
+			for _, fp := range faults.Grid() {
+				names = append(names, fp.Name)
+			}
+			fmt.Fprintf(stderr, "v6lab: unknown fault profile %q (want %s)\n",
+				*faultName, strings.Join(names, "|"))
 			return 2
 		}
 		labOpts = append(labOpts, v6lab.WithFaultProfile(p))
@@ -267,10 +283,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if *fleetN > 0 {
+	if *horizonStr != "" {
+		homes := *fleetN
+		if homes == 0 {
+			homes = 100
+		}
+		fmt.Fprintf(stderr, "simulating %d homes over a %s horizon (seed %d, workers %d)...\n",
+			homes, horizon, *fleetSeed, nWorkers)
+		part := v6lab.Timeline(horizon,
+			v6lab.FleetConfig(fleet.Config{Homes: homes, Seed: *fleetSeed}))
+		if err := lab.Run(part); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		// Like the fleet artifact, the timeline needs no single-home study:
+		// with nothing else requested, render it and exit.
+		if (*artifact == "" || *artifact == string(v6lab.TimelineStudy)) &&
+			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && !*resilience && *adversaryN == 0 {
+			if code := writeMetrics(); code != 0 {
+				return code
+			}
+			return render(lab, v6lab.TimelineStudy, stdout, stderr)
+		}
+	}
+
+	if *fleetN > 0 && *horizonStr == "" {
 		fmt.Fprintf(stderr, "simulating a fleet of %d homes (seed %d, workers %d)...\n",
 			*fleetN, *fleetSeed, nWorkers)
-		if err := lab.Run(v6lab.FleetWith(fleet.Config{Homes: *fleetN, Seed: *fleetSeed})); err != nil {
+		if err := lab.Run(v6lab.Fleet(*fleetN, v6lab.Seed(*fleetSeed))); err != nil {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
@@ -286,10 +326,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *adversaryN > 0 {
 		fmt.Fprintf(stderr, "attacking a fleet of %d homes (fleet seed %d, campaign seed %d, workers %d)...\n",
 			*adversaryN, *fleetSeed, *campaignSeed, nWorkers)
-		err := lab.Run(v6lab.AdversaryWith(adversary.Config{
-			Fleet:        fleet.Config{Homes: *adversaryN, Seed: *fleetSeed},
-			CampaignSeed: *campaignSeed,
-		}))
+		err := lab.Run(v6lab.Adversary(*adversaryN,
+			v6lab.Seed(*fleetSeed),
+			v6lab.AdversaryConfig(adversary.Config{CampaignSeed: *campaignSeed})))
 		if err != nil {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
@@ -297,7 +336,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Like the fleet artifact, the attack needs no single-home study:
 		// with nothing else requested, render it and exit.
 		if (*artifact == "" || *artifact == string(v6lab.AdversaryStudy)) &&
-			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 && !*resilience {
+			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 && !*resilience && *horizonStr == "" {
 			if code := writeMetrics(); code != 0 {
 				return code
 			}
@@ -314,7 +353,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Like the fleet artifact, the grid needs no single-home study:
 		// with nothing else requested, render it and exit.
 		if (*artifact == "" || *artifact == string(v6lab.ResilienceStudy)) &&
-			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 && *adversaryN == 0 {
+			*pcapDir == "" && *csvDir == "" && *fwPolicy == "" && *fleetN == 0 && *adversaryN == 0 && *horizonStr == "" {
 			if code := writeMetrics(); code != 0 {
 				return code
 			}

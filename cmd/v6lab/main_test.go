@@ -229,3 +229,67 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		}
 	}
 }
+
+// TestInvalidChoiceFlagsListValidChoices: every enumerated flag rejects an
+// unknown value with an error that lists the valid choices — -fault used
+// to relay a bare library error while -firewall enumerated its options.
+func TestInvalidChoiceFlagsListValidChoices(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "fault",
+			args: []string{"-fault", "solar-flare"},
+			want: []string{"solar-flare", "clean|lossy-wifi|clamped-tunnel|flaky-dnsmasq"},
+		},
+		{
+			name: "firewall",
+			args: []string{"-firewall", "moat"},
+			want: []string{"moat", "open|stateful|pinhole|compare"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2", code)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(stderr, want) {
+					t.Errorf("stderr missing %q: %q", want, stderr)
+				}
+			}
+		})
+	}
+}
+
+func TestInvalidHorizonRejected(t *testing.T) {
+	for _, bad := range []string{"nope", "0d", "-3d"} {
+		code, _, stderr := runCmd("-horizon", bad)
+		if code != 2 {
+			t.Fatalf("-horizon %s: exit code = %d, want 2", bad, code)
+		}
+		if !strings.Contains(stderr, "horizon") {
+			t.Errorf("-horizon %s: stderr missing diagnosis: %q", bad, stderr)
+		}
+	}
+}
+
+// TestHorizonFlag: -horizon runs the long-horizon timeline over the -fleet
+// population and renders only the timeline artifact.
+func TestHorizonFlag(t *testing.T) {
+	code, stdout, stderr := runCmd("-horizon", "24h", "-fleet", "4", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"Timeline — 4 homes over 1.0 simulated days", "Lease-renewal funnel"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "Fleet —") {
+		t.Errorf("-horizon with -fleet ran a separate fleet study:\n%s", stdout)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sync"
 	"testing"
 
-	"v6lab/internal/fleet"
 	"v6lab/internal/telemetry"
 )
 
@@ -34,7 +33,7 @@ func TestRunContextCancelMidFleet(t *testing.T) {
 	var once sync.Once
 	sink := telemetry.FuncSink(func(telemetry.Event) { once.Do(cancel) })
 	lab := New(WithProgress(sink))
-	err := lab.RunContext(ctx, FleetWith(fleet.Config{Homes: 12, Workers: 1, Seed: 3}))
+	err := lab.RunContext(ctx, Fleet(12, Workers(1), Seed(3)))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

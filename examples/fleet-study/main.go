@@ -14,7 +14,6 @@ import (
 	"strconv"
 
 	"v6lab"
-	"v6lab/internal/fleet"
 )
 
 func main() {
@@ -27,7 +26,7 @@ func main() {
 	}
 
 	lab := v6lab.New()
-	if err := lab.Run(v6lab.FleetWith(fleet.Config{Homes: homes, Workers: workers})); err != nil {
+	if err := lab.Run(v6lab.Fleet(homes, v6lab.Workers(workers))); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(lab.Report(v6lab.FleetStudy))

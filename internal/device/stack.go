@@ -87,6 +87,14 @@ type Stack struct {
 	// under impairment); retransmits counts retry sends this run.
 	dhcp6Pending bool
 	retransmits  int
+
+	// asleep gates the whole stack off the wire: a sleeping device neither
+	// receives nor reacts (timeline sleep/wake churn). Like dhcp4XID, the
+	// lifetime counters below survive Reset so long-horizon engines can
+	// detect lease-renewal outcomes as deltas across power cycles.
+	asleep       bool
+	dhcp4Acks    uint64
+	dhcp6Replies uint64
 }
 
 type pendingQuery struct {
@@ -228,6 +236,7 @@ func (s *Stack) Reset(mode Mode, expSeq int) {
 	s.nextPort = 40000
 	s.dhcp6Pending = false
 	s.retransmits = 0
+	s.asleep = false
 }
 
 // ndpActive reports whether the device participates in IPv6 at all in the
@@ -328,7 +337,13 @@ func (s *Stack) formLLA(n int) netip.Addr {
 }
 
 // addAddr installs an address, optionally probing it with DAD first.
+// Re-adding an address the stack already holds is a no-op (no duplicate
+// entry, no second DAD probe), so re-running SLAAC after a lost RA or a
+// renumbering converges instead of accumulating.
 func (s *Stack) addAddr(a netip.Addr, dad bool) {
+	if s.ownsAddr(a) {
+		return
+	}
 	switch addr.Classify(a) {
 	case addr.KindLLA:
 		s.llas = append(s.llas, a)
@@ -550,7 +565,9 @@ func (s *Stack) RunWorkload(cl *cloud.Cloud) {
 // in the current mode (before DNS outcomes are known).
 func (s *Stack) familiesFor(sp *DomainSpec) (v4, v6 bool) {
 	v4up := s.mode != ModeV6Only
-	v6up := s.ndpActive() && s.hasGUA()
+	// A GUA alone is not enough: without a live default router (an RA
+	// within its lifetime) the device has no v6 path off-link.
+	v6up := s.ndpActive() && s.hasGUA() && s.raSeen != nil
 	switch sp.Class {
 	case ClassV4Stay, ClassV4WithAAAA:
 		v4 = v4up
@@ -616,7 +633,7 @@ func (s *Stack) startSpec(i int, cl *cloud.Cloud) {
 func (s *Stack) resolveSpec(i int, wantV4, wantV6 bool) {
 	sp := &s.Plan.Specs[i]
 	v4DNS := s.mode != ModeV6Only && s.v4Addr.IsValid()
-	v6DNS := s.dnsV6.IsValid() && s.hasGUA()
+	v6DNS := s.dnsV6.IsValid() && s.hasGUA() && s.raSeen != nil
 
 	// A queries: needed for v4 contact; A-only names also probe over v6.
 	if wantV4 && v4DNS {
@@ -969,6 +986,9 @@ func (s *Stack) sendEUI64Probe() {
 
 // HandleFrame implements netsim.Host.
 func (s *Stack) HandleFrame(frame []byte) {
+	if s.asleep {
+		return
+	}
 	p := s.dec.Parse(frame)
 	if p.Ethernet == nil || p.Err != nil {
 		return
@@ -1082,6 +1102,7 @@ func (s *Stack) handleDHCP4(p *packet.Packet) {
 		s.sendDHCP4(dhcp4.Request, m.YourIP)
 	case dhcp4.ACK:
 		s.v4Addr = m.YourIP
+		s.dhcp4Acks++
 		s.routerMACv4(p.Ethernet.Src)
 	}
 }
@@ -1113,6 +1134,7 @@ func (s *Stack) handleDHCP6(p *packet.Packet) {
 		}
 	case dhcp6.Reply:
 		s.dhcp6Pending = false
+		s.dhcp6Replies++
 		if m.IANA != nil && len(m.IANA.Addrs) > 0 {
 			s.statefulAddr = m.IANA.Addrs[0].Addr
 		}

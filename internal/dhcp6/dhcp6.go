@@ -18,6 +18,7 @@ const (
 	Solicit     uint8 = 1
 	Advertise   uint8 = 2
 	Request     uint8 = 3
+	Renew       uint8 = 5
 	Reply       uint8 = 7
 	InfoRequest uint8 = 11
 )
@@ -31,6 +32,8 @@ func TypeName(t uint8) string {
 		return "ADVERTISE"
 	case Request:
 		return "REQUEST"
+	case Renew:
+		return "RENEW"
 	case Reply:
 		return "REPLY"
 	case InfoRequest:
@@ -123,7 +126,7 @@ func (m *Message) Marshal() ([]byte, error) {
 		}
 		appendOpt(OptORO, oro)
 	}
-	if m.ElapsedTime != 0 || m.Type == Solicit || m.Type == Request || m.Type == InfoRequest {
+	if m.ElapsedTime != 0 || m.Type == Solicit || m.Type == Request || m.Type == Renew || m.Type == InfoRequest {
 		appendOpt(OptElapsedTime, binary.BigEndian.AppendUint16(nil, m.ElapsedTime))
 	}
 	if m.IANA != nil {

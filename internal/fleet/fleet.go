@@ -205,6 +205,13 @@ func (c Config) SpecFor(i int) HomeSpec {
 	return c.specFor(device.Registry(), i)
 }
 
+// SpecForIn is SpecFor against a caller-held registry snapshot, so drivers
+// deriving many specs (the timeline engine) reuse one registry copy
+// instead of re-deriving it per home.
+func (c Config) SpecForIn(registry []*device.Profile, i int) HomeSpec {
+	return c.specFor(registry, i)
+}
+
 // specFor is SpecFor against a caller-held registry snapshot, so the fleet
 // loop derives all N specs from one registry copy instead of N.
 func (c Config) specFor(registry []*device.Profile, i int) HomeSpec {

@@ -39,6 +39,17 @@ func (c *Clock) Advance(d time.Duration) {
 // that restart runs from a common base time.
 func (c *Clock) Reset(t time.Time) { c.now = t }
 
+// AdvanceTo moves the clock forward to the given instant; instants at or
+// before the current one are ignored, so the clock stays monotonic. The
+// event-scheduled timeline engine uses it to jump from event to event:
+// frame deliveries between events advance the clock by per-frame delays,
+// so the next event time may already be in the past when it pops.
+func (c *Clock) AdvanceTo(t time.Time) {
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
 // Tap consumes every frame the switch delivers, in delivery order. A
 // pcapio.Capture is the buffering implementation (record every frame for
 // later re-parsing); the analysis package's streaming Observer is the

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"v6lab/internal/timeline"
+)
+
+// Timeline renders a long-horizon run: per-day functionality, the DHCP
+// lease-renewal funnels, sleep/wake and power-cycle churn, and the
+// re-addressing outages ISP prefix rotations caused. Like the fleet
+// report, the layout is worker-count-free: it consumes only the
+// deterministic Totals, so the rendering is byte-identical for any
+// timeline parallelism.
+func Timeline(r *timeline.Report) string {
+	t := r.Totals()
+	var w strings.Builder
+
+	title := fmt.Sprintf("Timeline — %d homes over %.1f simulated days (seed %d), %d devices",
+		t.Homes, r.SimDays(), r.Cfg.Seed, t.Devices)
+	fmt.Fprintf(&w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&w, "%d frames delivered across the horizon\n\n", t.Frames)
+
+	fmt.Fprintf(&w, "Per-day functionality (population-wide workload bursts)\n")
+	fmt.Fprintf(&w, "%-6s %8s %8s %8s %6s\n", "Day", "Bursts", "OK", "Asleep", "OK%")
+	for d, ds := range t.Days {
+		okPct := 0.0
+		if ds.BurstsAttempted > 0 {
+			okPct = 100 * float64(ds.BurstsOK) / float64(ds.BurstsAttempted)
+		}
+		fmt.Fprintf(&w, "%-6d %8d %8d %8d %5.1f%%\n",
+			d+1, ds.BurstsAttempted, ds.BurstsOK, ds.BurstsAsleep, okPct)
+	}
+
+	fmt.Fprintf(&w, "\nLease-renewal funnel (Expired includes leases slept past)\n")
+	fmt.Fprintf(&w, "%-8s %9s %9s %9s %9s %10s %7s\n",
+		"Family", "Attempts", "Renewed", "Retried", "Expired", "Reacquired", "Failed")
+	for _, row := range []struct {
+		name string
+		f    timeline.RenewalFunnel
+	}{{"DHCPv4", t.V4}, {"DHCPv6", t.V6}} {
+		fmt.Fprintf(&w, "%-8s %9d %9d %9d %9d %10d %7d\n",
+			row.name, row.f.Attempts, row.f.Renewed, row.f.RenewedRetry,
+			row.f.Expired, row.f.Reacquired, row.f.Failed)
+	}
+
+	fmt.Fprintf(&w, "\nChurn over the horizon\n")
+	fmt.Fprintf(&w, "  device sleeps / wakes          %6d / %-6d\n", t.Sleeps, t.Wakes)
+	fmt.Fprintf(&w, "  power cycles                   %6d\n", t.PowerCycles)
+	fmt.Fprintf(&w, "  RA lifetime expiries           %6d  (%d recovered by soliciting)\n",
+		t.RAExpiries, t.RARecoveries)
+
+	if t.Rotations > 0 {
+		mean := time.Duration(0)
+		if t.Recovered > 0 {
+			mean = t.OutageTotal / time.Duration(t.Recovered)
+		}
+		fmt.Fprintf(&w, "\nISP prefix rotations (flash renumbering)\n")
+		fmt.Fprintf(&w, "  rotations across population    %6d\n", t.Rotations)
+		fmt.Fprintf(&w, "  homes re-addressed             %6d\n", t.Recovered)
+		fmt.Fprintf(&w, "  live flows aborted             %6d\n", t.ConnsAborted)
+		fmt.Fprintf(&w, "  re-addressing outage           mean %v, max %v\n",
+			mean.Round(time.Second), t.OutageMax.Round(time.Second))
+	}
+	return w.String()
+}

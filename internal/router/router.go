@@ -43,11 +43,27 @@ type natEntry struct {
 	devPort uint16
 }
 
+// GUAPrefixN returns the n-th delegated /64 an ISP rotation can hand the
+// home: n=0 is the boot-time GUAPrefix, each subsequent n bumps the third
+// hextet (2001:470:8:100::/64 → 2001:470:9:100::/64 → …). Timeline prefix
+// rotations walk this sequence so renumbered worlds stay deterministic.
+func GUAPrefixN(n int) netip.Prefix {
+	b := GUAPrefix.Addr().As16()
+	binary.BigEndian.PutUint16(b[4:6], binary.BigEndian.Uint16(b[4:6])+uint16(n))
+	return netip.PrefixFrom(netip.AddrFrom16(b), GUAPrefix.Bits())
+}
+
 // Router is the home gateway. It attaches to the LAN as a netsim host and
 // reaches the simulated cloud by direct call on its WAN side.
 type Router struct {
 	Cfg   Config
 	Cloud *cloud.Cloud
+
+	// guaPrefix and routerGUA are the currently delegated prefix and the
+	// router's address within it. They start at the package defaults and
+	// move only when Renumber simulates an ISP withdrawing the delegation.
+	guaPrefix netip.Prefix
+	routerGUA netip.Addr
 
 	port  *netsim.Port
 	clock *netsim.Clock
@@ -125,6 +141,8 @@ func New(cfg Config, cl *cloud.Cloud) *Router {
 	return &Router{
 		Cfg:         cfg,
 		Cloud:       cl,
+		guaPrefix:   GUAPrefix,
+		routerGUA:   RouterGUA,
 		tx:          packet.NewBuffer(128),
 		wanTx:       packet.NewBuffer(128),
 		dhcp4Leases: make(map[packet.MAC]netip.Addr),
@@ -150,6 +168,33 @@ func (r *Router) Attach(n *netsim.Network) {
 // SetFirewall installs the inbound-IPv6 firewall; call before or after
 // Attach.
 func (r *Router) SetFirewall(fw *firewall.Firewall) { r.FW = fw }
+
+// DelegatedPrefix returns the GUA /64 the router currently advertises.
+func (r *Router) DelegatedPrefix() netip.Prefix { return r.guaPrefix }
+
+// Renumber simulates the ISP withdrawing the delegated prefix and handing
+// the home a new one (the flash-renumbering event of RFC 8978): the router
+// adopts the new prefix and its ::1 address within it, invalidates every
+// stateful DHCPv6 lease (they were carved from the old prefix), and forgets
+// neighbors whose addresses became bogus. Devices keep working only after
+// the next RA lets them SLAAC a fresh address — the gap is the
+// re-addressing outage the timeline report measures.
+func (r *Router) Renumber(p netip.Prefix) {
+	if p == r.guaPrefix {
+		return
+	}
+	old := r.guaPrefix
+	r.guaPrefix = p
+	var iid [8]byte
+	iid[7] = 1
+	r.routerGUA = addr.FromPrefixIID(p, iid)
+	clear(r.dhcp6Leases) // nextV6Lease keeps counting: new leases get new IIDs
+	for a := range r.Neighbors {
+		if old.Contains(a) {
+			delete(r.Neighbors, a)
+		}
+	}
+}
 
 // HandleFrame implements netsim.Host.
 func (r *Router) HandleFrame(frame []byte) {
@@ -266,7 +311,7 @@ func (r *Router) handleIPv6(p *packet.Packet) {
 	dst := p.IPv6.Dst
 	switch addr.Classify(dst) {
 	case addr.KindGUA:
-		if GUAPrefix.Contains(dst) {
+		if r.guaPrefix.Contains(dst) {
 			return // on-link destination, switched not routed
 		}
 		r.forwardV6(p)
@@ -390,8 +435,8 @@ func (r *Router) ipForMACv4(mac packet.MAC) netip.Addr {
 // table, and relays replies to the device by neighbor lookup — replies
 // traverse the inbound firewall like any other WAN packet.
 func (r *Router) forwardV6(p *packet.Packet) {
-	if !GUAPrefix.Contains(p.IPv6.Src) {
-		return // ULA/LLA sources are not globally routable
+	if !r.guaPrefix.Contains(p.IPv6.Src) {
+		return // sources outside the delegated prefix are not routable
 	}
 	raw := r.reserializeIPv6(p)
 	if r.Faults != nil {

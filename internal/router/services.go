@@ -84,7 +84,7 @@ func (r *Router) handleNDP(p *packet.Packet) {
 		if !ns.SourceLinkAddr.IsZero() && p.IPv6.Src.IsValid() && addr.Classify(p.IPv6.Src) != addr.KindUnspecified {
 			r.Neighbors[p.IPv6.Src] = ns.SourceLinkAddr
 		}
-		if ns.Target == RouterLLA || ns.Target == RouterGUA {
+		if ns.Target == RouterLLA || ns.Target == r.routerGUA {
 			r.sendNA(p.Ethernet.Src, p.IPv6.Src, ns.Target)
 		}
 	case packet.ICMPv6TypeNeighborAdvert:
@@ -112,7 +112,7 @@ func (r *Router) SendRouterAdvert() {
 		MTU:            1500,
 		SourceLinkAddr: RouterMAC,
 		Prefixes: []ndp.PrefixInfo{
-			{Prefix: GUAPrefix, OnLink: true, AutonomousFlag: true,
+			{Prefix: r.guaPrefix, OnLink: true, AutonomousFlag: true,
 				ValidLifetime: 86400 * time.Second, PreferredLifetime: 14400 * time.Second},
 			{Prefix: ULAPrefix, OnLink: true, AutonomousFlag: true,
 				ValidLifetime: 86400 * time.Second, PreferredLifetime: 86400 * time.Second},
@@ -166,13 +166,16 @@ func (r *Router) handleDHCPv6(p *packet.Packet) {
 		if msg.WantsDNS() {
 			reply.DNS = []netip.Addr{cloud.DNSv6}
 		}
-	case dhcp6.Solicit, dhcp6.Request:
+	case dhcp6.Solicit, dhcp6.Request, dhcp6.Renew:
 		if !r.Cfg.StatefulDHCPv6 || msg.IANA == nil {
 			return
 		}
 		if msg.Type == dhcp6.Solicit {
 			reply.Type = dhcp6.Advertise
 		} else {
+			// REQUEST and RENEW both confirm the binding with a REPLY; after
+			// a renumbering cleared the lease table, a RENEW reassigns from
+			// the new prefix the way dnsmasq's stateless lease logic does.
 			reply.Type = dhcp6.Reply
 		}
 		lease := r.leaseV6(string(msg.ClientID))
@@ -206,7 +209,7 @@ func (r *Router) leaseV6(duid string) netip.Addr {
 	var iid [8]byte
 	iid[5] = 0x10 // 2001:470:8:100::10xx range, away from SLAAC IIDs
 	binary.BigEndian.PutUint16(iid[6:8], r.nextV6Lease)
-	a := addr.FromPrefixIID(GUAPrefix, iid)
+	a := addr.FromPrefixIID(r.guaPrefix, iid)
 	r.dhcp6Leases[duid] = a
 	return a
 }

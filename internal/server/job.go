@@ -13,6 +13,7 @@ import (
 	"v6lab/internal/pcapio"
 	"v6lab/internal/report"
 	"v6lab/internal/telemetry"
+	"v6lab/internal/timeline"
 )
 
 // State is a job's position in its lifecycle.
@@ -155,22 +156,32 @@ func runSpec(ctx context.Context, spec JobSpec, sink telemetry.Sink) (*Result, e
 	case KindFirewall:
 		parts = []v6lab.RunPart{v6lab.Connectivity(), v6lab.FirewallComparison(spec.Policies...)}
 	case KindFleet:
-		parts = []v6lab.RunPart{v6lab.FleetWith(fleet.Config{
+		parts = []v6lab.RunPart{v6lab.Fleet(0, v6lab.FleetConfig(fleet.Config{
 			Homes:           spec.FleetHomes,
 			Seed:            spec.FleetSeed,
 			MaxFramesPerRun: spec.MaxFramesPerRun,
-		})}
+		}))}
 	case KindResilience:
 		parts = []v6lab.RunPart{v6lab.Resilience()}
 	case KindAdversary:
-		parts = []v6lab.RunPart{v6lab.AdversaryWith(adversary.Config{
+		parts = []v6lab.RunPart{v6lab.Adversary(0, v6lab.AdversaryConfig(adversary.Config{
 			Fleet: fleet.Config{
 				Homes:           spec.FleetHomes,
 				Seed:            spec.FleetSeed,
 				MaxFramesPerRun: spec.MaxFramesPerRun,
 			},
 			CampaignSeed: spec.CampaignSeed,
-		})}
+		}))}
+	case KindTimeline:
+		h, err := v6lab.ParseHorizon(spec.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		parts = []v6lab.RunPart{v6lab.Timeline(h, v6lab.TimelineConfig(timeline.Config{
+			Homes:             spec.FleetHomes,
+			Seed:              spec.FleetSeed,
+			MaxFramesPerDrain: spec.MaxFramesPerRun,
+		}))}
 	}
 	if err := lab.RunContext(ctx, parts...); err != nil {
 		return nil, err
@@ -207,6 +218,8 @@ func collectArtifacts(lab *v6lab.Lab, spec JobSpec) (*Result, error) {
 		arts["fullreport"] = []byte(lab.Report(v6lab.ResilienceStudy))
 	case KindAdversary:
 		arts["fullreport"] = []byte(lab.Report(v6lab.AdversaryStudy))
+	case KindTimeline:
+		arts["fullreport"] = []byte(lab.Report(v6lab.TimelineStudy))
 	}
 	if snap, ok := lab.TelemetrySnapshot(); ok {
 		arts["telemetry.prom"] = snap.Prometheus()

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"v6lab"
 	"v6lab/internal/device"
 	"v6lab/internal/faults"
 	"v6lab/internal/firewall"
@@ -31,10 +32,11 @@ const (
 	KindFleet      = "fleet"               // a population of independent homes
 	KindResilience = "resilience"          // the impairment-profile grid
 	KindAdversary  = "adversary"           // attacker's view of a fleet: discovery, campaign, worm
+	KindTimeline   = "timeline"            // long-horizon event-scheduled population run
 )
 
 // Kinds lists the accepted job kinds.
-var Kinds = []string{KindStudy, KindFirewall, KindFleet, KindResilience, KindAdversary}
+var Kinds = []string{KindStudy, KindFirewall, KindFleet, KindResilience, KindAdversary, KindTimeline}
 
 // JobSpec is the wire format of one study request. The zero value of
 // every optional field selects the library default, so {"kind":"study"}
@@ -69,6 +71,11 @@ type JobSpec struct {
 	// CampaignSeed drives the adversary's probe ordering and worm draws
 	// (0 means the default 1). Adversary jobs only.
 	CampaignSeed uint64 `json:"campaign_seed,omitempty"`
+	// Horizon is the simulated duration for timeline jobs ("7d", "2w",
+	// "36h"). Required for kind timeline, rejected elsewhere; equivalent
+	// spellings ("7d", "168h", "1w") canonicalize — and therefore hash —
+	// identically.
+	Horizon string `json:"horizon,omitempty"`
 	// MaxFramesPerRun bounds each experiment's frame deliveries
 	// (0 keeps the library default).
 	MaxFramesPerRun int `json:"max_frames_per_run,omitempty"`
@@ -82,7 +89,7 @@ type JobSpec struct {
 // profiles, and policies. It does not mutate the spec; Canonicalize does.
 func (s JobSpec) Validate() error {
 	switch s.Kind {
-	case KindStudy, KindFirewall, KindFleet, KindResilience, KindAdversary:
+	case KindStudy, KindFirewall, KindFleet, KindResilience, KindAdversary, KindTimeline:
 	default:
 		return fmt.Errorf("unknown kind %q (want %s)", s.Kind, strings.Join(Kinds, "|"))
 	}
@@ -104,15 +111,22 @@ func (s JobSpec) Validate() error {
 			return err
 		}
 	}
-	if s.Kind == KindFleet || s.Kind == KindAdversary {
+	if s.Kind == KindFleet || s.Kind == KindAdversary || s.Kind == KindTimeline {
 		if s.FleetHomes <= 0 {
 			return fmt.Errorf("kind %q wants fleet_homes > 0, got %d", s.Kind, s.FleetHomes)
 		}
 	} else if s.FleetHomes != 0 || s.FleetSeed != 0 {
-		return fmt.Errorf("fleet_homes and fleet_seed only apply to kinds %q and %q", KindFleet, KindAdversary)
+		return fmt.Errorf("fleet_homes and fleet_seed only apply to kinds %q, %q, and %q", KindFleet, KindAdversary, KindTimeline)
 	}
 	if s.CampaignSeed != 0 && s.Kind != KindAdversary {
 		return fmt.Errorf("campaign_seed only applies to kind %q", KindAdversary)
+	}
+	if s.Kind == KindTimeline {
+		if _, err := v6lab.ParseHorizon(s.Horizon); err != nil {
+			return fmt.Errorf("kind %q wants a positive horizon (e.g. 7d, 2w, 36h): %w", KindTimeline, err)
+		}
+	} else if s.Horizon != "" {
+		return fmt.Errorf("horizon only applies to kind %q", KindTimeline)
 	}
 	if s.MaxFramesPerRun < 0 {
 		return fmt.Errorf("max_frames_per_run wants a non-negative bound, got %d", s.MaxFramesPerRun)
@@ -152,13 +166,29 @@ func (s JobSpec) Canonicalize() JobSpec {
 			c.Policies = norm
 		}
 	}
-	if (c.Kind == KindFleet || c.Kind == KindAdversary) && c.FleetSeed == 0 {
+	if (c.Kind == KindFleet || c.Kind == KindAdversary || c.Kind == KindTimeline) && c.FleetSeed == 0 {
 		c.FleetSeed = 1
 	}
 	if c.Kind == KindAdversary && c.CampaignSeed == 0 {
 		c.CampaignSeed = 1
 	}
+	c.Horizon = canonicalHorizon(c.Horizon)
 	return c
+}
+
+// canonicalHorizon folds equivalent horizon spellings ("7d", "168h",
+// "1w") onto one form so they share a cache entry. Invalid input is kept
+// trimmed and lowercased — Canonicalize stays total; Validate rejects it.
+func canonicalHorizon(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return ""
+	}
+	h, err := v6lab.ParseHorizon(s)
+	if err != nil {
+		return s
+	}
+	return h.String()
 }
 
 // canonicalDevices sorts names into registry order and drops duplicates.
@@ -222,6 +252,7 @@ type hashedSpec struct {
 	FleetHomes      int      `json:"fleet_homes"`
 	FleetSeed       uint64   `json:"fleet_seed"`
 	CampaignSeed    uint64   `json:"campaign_seed"`
+	Horizon         string   `json:"horizon"`
 	MaxFramesPerRun int      `json:"max_frames_per_run"`
 }
 
@@ -239,6 +270,7 @@ func (s JobSpec) OptionsHash() string {
 		FleetHomes:      c.FleetHomes,
 		FleetSeed:       c.FleetSeed,
 		CampaignSeed:    c.CampaignSeed,
+		Horizon:         c.Horizon,
 		MaxFramesPerRun: c.MaxFramesPerRun,
 	})
 	if err != nil {

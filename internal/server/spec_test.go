@@ -14,7 +14,7 @@ import (
 // to JobSpec's hashed fields, their canonicalization, or the hashedSpec
 // layout changes every hash, silently splitting the result cache across
 // deployments — this test makes that failure loud instead.
-const goldenStudyHash = "2fab4f65de713cc18bafa3ed4d1edfc92c6e949a80df1780e6005264e1c43dc2"
+const goldenStudyHash = "3f187b0dd9130eb5e52e31fe326a2d814d6fbe7a29feacc9acb69750ed2dcb43"
 
 func TestOptionsHashGolden(t *testing.T) {
 	got := JobSpec{Kind: KindStudy}.OptionsHash()

@@ -1,0 +1,32 @@
+package timeline
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkTimeline is the headline long-horizon figure: one simulated
+// week across 100 homes, the acceptance-scale run. Beyond ns/op it
+// reports simulated-days/sec — the metric that says how far past a week
+// the engine can reach in a fixed wall-clock budget. Recorded in
+// BENCH_study.json and gated on allocs/op by cmd/benchjson in CI.
+func BenchmarkTimeline(b *testing.B) {
+	cfg := Config{
+		Horizon: 7 * 24 * time.Hour,
+		Homes:   100,
+		Workers: 4,
+		Seed:    1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var simDays float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunContext(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simDays += rep.SimDays() * float64(len(rep.Homes))
+	}
+	b.ReportMetric(simDays/b.Elapsed().Seconds(), "simdays/sec")
+}

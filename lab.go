@@ -34,6 +34,7 @@ import (
 	"v6lab/internal/fleet"
 	"v6lab/internal/report"
 	"v6lab/internal/telemetry"
+	"v6lab/internal/timeline"
 )
 
 // Artifact names one of the paper's tables or figures.
@@ -78,13 +79,19 @@ const (
 	// each home's firewall, and a worm-propagation time-to-compromise
 	// table per policy. Requires Run(Adversary(n)).
 	AdversaryStudy Artifact = "adversary"
+	// TimelineStudy extends the paper over time: a population simulated
+	// across days-to-weeks of event-scheduled time, reporting per-day
+	// functionality, the DHCP lease-renewal funnel, sleep/wake and
+	// power-cycle churn, and the re-addressing outages ISP prefix
+	// rotations cause. Requires Run(Timeline(h)).
+	TimelineStudy Artifact = "timeline"
 )
 
 // Artifacts lists every artifact in report order.
 var Artifacts = []Artifact{
 	Table3, Figure2, Table4, Table5, Table6, Figure3, Figure4, Table7,
 	Table8, Table9, Table10, Table12, Table13, Figure5, DADAudit, Ports, Tracking,
-	FuncMatrix, Firewall, FleetStudy, ResilienceStudy, AdversaryStudy,
+	FuncMatrix, Firewall, FleetStudy, ResilienceStudy, AdversaryStudy, TimelineStudy,
 }
 
 // ErrUnknownArtifact is returned (wrapped) by ReportErr for artifact names
@@ -103,6 +110,8 @@ type options struct {
 	telemetry   *telemetry.Registry
 	progress    telemetry.Sink
 	env         *Env
+	horizon     Horizon
+	horizonSet  bool
 }
 
 // CapturePolicy selects whether the lab's experiments buffer their frames
@@ -195,6 +204,15 @@ func WithProgress(sink telemetry.Sink) Option {
 	return func(o *options) { o.progress = sink }
 }
 
+// WithHorizon sets the lab's default simulated horizon: Timeline parts
+// given a zero Horizon fall back to it. A zero or negative horizon is
+// rejected at New time — the constructor records an ErrInvalidHorizon
+// that the first Run/RunContext returns, so misconfiguration surfaces at
+// the API boundary instead of panicking mid-run.
+func WithHorizon(h Horizon) Option {
+	return func(o *options) { o.horizon = h; o.horizonSet = true }
+}
+
 // Lab is the top-level handle: a configured study plus, after Run, the
 // analyzed dataset.
 type Lab struct {
@@ -212,8 +230,13 @@ type Lab struct {
 	// Adv holds the attacker's-view results once Run(Adversary(n)) has
 	// run.
 	Adv *adversary.Report
+	// TL holds the long-horizon results once Run(Timeline(h)) has run.
+	TL *timeline.Report
 
 	opts options
+	// initErr records an option rejected at New time (e.g. an invalid
+	// WithHorizon); the first Run/RunContext returns it.
+	initErr error
 	// ctx is the context of the RunContext call currently executing;
 	// parts read it through runCtx. Nil outside Run/RunContext.
 	ctx context.Context
@@ -231,6 +254,11 @@ func New(opts ...Option) *Lab {
 		o.devices = resolveDevices(o.deviceNames)
 	}
 	l := &Lab{opts: o}
+	if o.horizonSet {
+		if err := o.horizon.validate(); err != nil {
+			l.initErr = fmt.Errorf("WithHorizon: %w", err)
+		}
+	}
 	so := l.studyOptions()
 	if o.fault != nil && o.fault.Active() {
 		fp := *o.fault
@@ -300,8 +328,10 @@ func resolveDevices(names []string) []*device.Profile {
 }
 
 // RunPart is one composable unit of work for Run. The provided parts —
-// Connectivity, FirewallComparison, Fleet, FleetWith, Resilience — cover
-// every study the lab knows how to run.
+// Connectivity, FirewallComparison, Fleet, Adversary, Resilience,
+// Timeline — cover every study the lab knows how to run; each takes
+// PartOptions (Capture, Seed, Workers, Impairments, or a full config via
+// FleetConfig/AdversaryConfig/TimelineConfig) for per-part control.
 type RunPart func(*Lab) error
 
 // Connectivity is the core study: the six Table 2 experiments, the active
@@ -348,107 +378,6 @@ func FirewallComparison(policyNames ...string) RunPart {
 	}
 }
 
-// Fleet simulates a population of n independent homes with the default
-// fleet configuration (household-size distribution, connectivity and
-// firewall-policy mixes, GOMAXPROCS workers). Results land in FleetPop
-// and the FleetStudy artifact. It is independent of Connectivity: either
-// may run first, or alone.
-func Fleet(n int) RunPart {
-	return FleetWith(fleet.Config{Homes: n})
-}
-
-// FleetWith is Fleet with full control over the population. A config
-// without its own Telemetry, Progress, or Workers inherits the lab's
-// WithTelemetry/WithProgress/WithWorkers settings.
-func FleetWith(cfg fleet.Config) RunPart {
-	return func(l *Lab) error {
-		if cfg.Telemetry == nil {
-			cfg.Telemetry = l.opts.telemetry
-		}
-		if cfg.Progress == nil {
-			cfg.Progress = l.opts.progress
-		}
-		if cfg.Workers == 0 {
-			cfg.Workers = l.opts.workers
-		}
-		if cfg.Capture == experiment.CaptureDefault {
-			// Inherit an explicit WithCapture choice; a still-default
-			// policy resolves to CaptureNone in the fleet (aggregates
-			// only, frames streamed — never buffered).
-			cfg.Capture = l.opts.capture
-		}
-		pop, err := fleet.RunContext(l.runCtx(), cfg)
-		if err != nil {
-			return err
-		}
-		l.FleetPop = pop
-		return nil
-	}
-}
-
-// Adversary simulates an Internet-scale attacker against a population of
-// n homes built with the default fleet configuration: address discovery
-// against every home's /64, a campaign sweep through each home's firewall
-// policy, and worm propagation across the discovered population. Results
-// land in Adv and the AdversaryStudy artifact.
-func Adversary(n int) RunPart {
-	return AdversaryWith(adversary.Config{Fleet: fleet.Config{Homes: n}})
-}
-
-// AdversaryWith is Adversary with full control over the attack: fleet
-// shape, campaign seed, probe budget, worm parameters. A config without
-// its own Telemetry, Progress, or fleet Workers inherits the lab's
-// settings.
-func AdversaryWith(cfg adversary.Config) RunPart {
-	return func(l *Lab) error {
-		if cfg.Telemetry == nil {
-			cfg.Telemetry = l.opts.telemetry
-		}
-		if cfg.Progress == nil {
-			cfg.Progress = l.opts.progress
-		}
-		if cfg.Fleet.Workers == 0 {
-			cfg.Fleet.Workers = l.opts.workers
-		}
-		rep, err := adversary.RunContext(l.runCtx(), cfg)
-		if err != nil {
-			return err
-		}
-		l.Adv = rep
-		return nil
-	}
-}
-
-// Resilience re-runs the Table 2 grid under each impairment profile
-// (faults.Grid() — clean, lossy-wifi, clamped-tunnel, flaky-dnsmasq —
-// when none are given), building a fresh isolated study per profile from
-// the lab's options. Profiles without an explicit seed inherit WithSeed.
-// Results land in Resil and the ResilienceStudy artifact.
-func Resilience(profiles ...faults.Profile) RunPart {
-	return func(l *Lab) error {
-		if len(profiles) == 0 {
-			profiles = faults.Grid()
-		}
-		seeded := make([]faults.Profile, len(profiles))
-		for i, p := range profiles {
-			if p.Seed == 0 {
-				p.Seed = l.opts.seed
-			}
-			seeded[i] = p
-		}
-		so := l.studyOptions()
-		// The grid reads stack and router aggregates, never frames: no
-		// observer, and (unless WithCapture says otherwise) no capture.
-		so.Observe = nil
-		rep, err := experiment.RunResilienceContext(l.runCtx(), so, seeded...)
-		if err != nil {
-			return err
-		}
-		l.Resil = rep
-		return nil
-	}
-}
-
 // Run executes the given parts in order; with no parts it runs
 // Connectivity — the six connectivity experiments, the active DNS
 // queries, and the port scans, then the analysis pipeline over the
@@ -464,6 +393,9 @@ func (l *Lab) Run(parts ...RunPart) error {
 // and Resil each stay nil (or keep their previous value) unless their
 // part completed.
 func (l *Lab) RunContext(ctx context.Context, parts ...RunPart) error {
+	if l.initErr != nil {
+		return l.initErr
+	}
 	if len(parts) == 0 {
 		parts = []RunPart{Connectivity()}
 	}
@@ -530,6 +462,9 @@ func (l *Lab) FullReport() string {
 			continue
 		}
 		if a == AdversaryStudy && l.Adv == nil {
+			continue
+		}
+		if a == TimelineStudy && l.TL == nil {
 			continue
 		}
 		out += l.Report(a) + "\n"

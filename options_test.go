@@ -89,7 +89,7 @@ func TestResilienceArtifactBeforeRun(t *testing.T) {
 func TestResiliencePartAndSeedDeterminism(t *testing.T) {
 	run := func() string {
 		lab := New(WithDevices("TiVo Stream", "Apple TV"), WithSeed(7))
-		if err := lab.Run(Resilience(faults.Clean(), faults.ClampedTunnel())); err != nil {
+		if err := lab.Run(Resilience(Impairments(faults.Clean(), faults.ClampedTunnel()))); err != nil {
 			t.Fatal(err)
 		}
 		if lab.Resil == nil {

@@ -10,6 +10,7 @@ import (
 	"v6lab/internal/fleet"
 	"v6lab/internal/report"
 	"v6lab/internal/telemetry"
+	"v6lab/internal/timeline"
 )
 
 // ErrNotRun is returned by Results on a lab that has not run any part
@@ -34,6 +35,8 @@ type Results struct {
 	Resilience *experiment.ResilienceReport
 	// Adversary holds the attacker's-view results from Adversary.
 	Adversary *adversary.Report
+	// Timeline holds the long-horizon results from Timeline.
+	Timeline *timeline.Report
 	// Telemetry is the deterministic metric snapshot, present when the
 	// lab was built WithTelemetry.
 	Telemetry *telemetry.Snapshot
@@ -49,6 +52,7 @@ func (l *Lab) resultsView() Results {
 		Fleet:      l.FleetPop,
 		Resilience: l.Resil,
 		Adversary:  l.Adv,
+		Timeline:   l.TL,
 	}
 }
 
@@ -56,7 +60,7 @@ func (l *Lab) resultsView() Results {
 // ErrNotRun when no part has run yet.
 func (l *Lab) Results() (Results, error) {
 	r := l.resultsView()
-	if r.Data == nil && r.Firewall == nil && r.Fleet == nil && r.Resilience == nil && r.Adversary == nil {
+	if r.Data == nil && r.Firewall == nil && r.Fleet == nil && r.Resilience == nil && r.Adversary == nil && r.Timeline == nil {
 		return Results{}, ErrNotRun
 	}
 	if snap, ok := l.TelemetrySnapshot(); ok {
@@ -100,6 +104,11 @@ func renderArtifact(res Results, a Artifact) (string, error) {
 			return "Adversary study: not run (pass -adversary N or call Lab.Run(v6lab.Adversary(n)))\n", nil
 		}
 		return report.Adversary(res.Adversary), nil
+	case TimelineStudy:
+		if res.Timeline == nil {
+			return "Timeline study: not run (pass -horizon 7d or call Lab.Run(v6lab.Timeline(v6lab.Weeks(1))))\n", nil
+		}
+		return report.Timeline(res.Timeline), nil
 	}
 	if res.Data == nil {
 		panic("v6lab: call Run before Report")

@@ -12,8 +12,6 @@ package v6lab
 import (
 	"strings"
 	"testing"
-
-	"v6lab/internal/fleet"
 )
 
 func TestStreamingEqualsBuffered(t *testing.T) {
@@ -51,7 +49,7 @@ func TestStreamingEqualsBuffered(t *testing.T) {
 func TestStreamingFleetEqualsBuffered(t *testing.T) {
 	run := func(p CapturePolicy) *Lab {
 		lab := New(WithWorkers(2))
-		if err := lab.Run(FleetWith(fleet.Config{Homes: 8, Seed: 1, Capture: p})); err != nil {
+		if err := lab.Run(Fleet(8, Seed(1), Capture(p))); err != nil {
 			t.Fatal(err)
 		}
 		return lab

@@ -9,7 +9,6 @@ import (
 	"sync"
 	"testing"
 
-	"v6lab/internal/fleet"
 	"v6lab/internal/telemetry"
 )
 
@@ -167,7 +166,7 @@ func TestTelemetryDeterminismFleet(t *testing.T) {
 	run := func(workers int) []byte {
 		reg := telemetry.NewRegistry()
 		lab := New(WithTelemetry(reg))
-		part := FleetWith(fleet.Config{Homes: 50, Workers: workers, Seed: 5})
+		part := Fleet(50, Workers(workers), Seed(5))
 		if err := lab.Run(part); err != nil {
 			t.Fatal(err)
 		}
